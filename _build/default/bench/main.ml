@@ -1,0 +1,261 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Tables 4.1, 7.1, 8.1, 8.2, 9.1, 10.1; Figures 9.1,
+   9.2, 9.3; the Chapter 8 PoC study and the 9.2 sensitivity analyses), then
+   runs Bechamel micro-benchmarks of Perspective's core primitives.
+
+   Usage:
+     bench/main.exe                 full reproduction (several minutes)
+     bench/main.exe --quick         scaled-down run
+     bench/main.exe --only fig-9.2  one experiment (see labels below)
+     bench/main.exe --no-bechamel   skip the microbenchmarks *)
+
+module E = Pv_experiments
+module Tab = Pv_util.Tab
+
+let scale = ref 1.0
+
+let only : string option ref = ref None
+
+let run_bechamel = ref true
+
+let csv_dir : string option ref = ref None
+
+let maybe_csv name tab =
+  match !csv_dir with
+  | Some dir -> Tab.save_csv tab (Filename.concat dir (name ^ ".csv"))
+  | None -> ()
+
+let want label = match !only with None -> true | Some l -> l = label
+
+let section label title f =
+  if want label then begin
+    Printf.printf "\n###### [%s] %s ######\n\n%!" label title;
+    f ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let static_sections () =
+  section "table-4.1" "Taxonomy of kernel CVEs" (fun () ->
+      Tab.print (E.Security.cve_table ()));
+  section "table-7.1" "Simulation parameters" (fun () ->
+      Tab.print (E.Static_tables.sim_params ()));
+  section "table-9.1" "View-cache hardware characterization" (fun () ->
+      Tab.print (E.Static_tables.hw_characterization ());
+      Tab.print (E.Static_tables.hw_sensitivity ()))
+
+let isv_sections () =
+  if want "table-8.1" || want "table-8.2" || want "fig-9.1" then begin
+    let study = E.Isv_study.build () in
+    section "table-8.1" "Attack surface reduction" (fun () ->
+        Tab.print (E.Isv_study.surface_table study));
+    section "table-8.2" "Gadget reduction" (fun () ->
+        Tab.print (E.Isv_study.gadget_table study));
+    section "fig-9.1" "Kasper discovery-rate speedup" (fun () ->
+        Tab.print (E.Isv_study.speedup_table study))
+  end
+
+let poc_section () =
+  section "poc-attacks" "Chapter 8 proof-of-concept attacks" (fun () ->
+      Tab.print (E.Security.poc_table (E.Security.run_pocs ()));
+      (* 5.4: swift gadget patching on a live system *)
+      let d = Pv_attacks.Spectre_v2.run_patch_demo () in
+      let verdict (o : Pv_attacks.Spectre_v2.outcome) =
+        if o.Pv_attacks.Spectre_v2.success then "SECRET LEAKED" else "blocked"
+      in
+      Printf.printf
+        "Swift patching (5.4): passive v2 with the gadget wrongly inside the\n\
+        \ victim's ISV: %s; after excluding the function from the live view\n\
+        \ (no kernel patch): %s\n\n"
+        (verdict d.Pv_attacks.Spectre_v2.before_patch)
+        (verdict d.Pv_attacks.Spectre_v2.after_patch);
+      (* Table 4.1 gadget shapes as active-attack PoCs (8.1) *)
+      let vtab =
+        Tab.create ~title:"Active PoCs from the Table 4.1 gadget shapes"
+          ~header:
+            [ ("Gadget", Tab.Left); ("UNSAFE", Tab.Left); ("PERSPECTIVE", Tab.Left) ]
+      in
+      let v (o : Pv_attacks.Spectre_v1.outcome) =
+        if o.Pv_attacks.Spectre_v1.success then "SECRET LEAKED" else "blocked"
+      in
+      List.iter
+        (fun variant ->
+          let u = Pv_attacks.Spectre_v1.run ~variant ~scheme:Perspective.Defense.Unsafe () in
+          let p =
+            Pv_attacks.Spectre_v1.run ~variant
+              ~scheme:(Perspective.Defense.Perspective Perspective.Isv.Dynamic) ()
+          in
+          Tab.row vtab [ Pv_attacks.Spectre_v1.variant_name variant; v u; v p ])
+        [
+          Pv_attacks.Spectre_v1.Array_index;
+          Pv_attacks.Spectre_v1.Pointer_arith;
+          Pv_attacks.Spectre_v1.Type_confusion;
+        ];
+      Tab.print vtab)
+
+let perf_sections () =
+  let needed =
+    List.exists want
+      [ "fig-9.2"; "fig-9.3"; "table-10.1"; "comparisons"; "sensitivity" ]
+  in
+  if needed then begin
+    let variants = E.Schemes.standard @ E.Schemes.hardware @ E.Schemes.spot in
+    Printf.printf "\n(running the cycle-level performance matrices, scale=%.2f...)\n%!" !scale;
+    let micro = E.Perf.lebench_matrix ~scale:!scale ~variants () in
+    let macro = E.Perf.apps_matrix ~scale:!scale ~variants () in
+    section "fig-9.2" "LEBench normalized latency" (fun () ->
+        let tab = E.Perf_report.fig_lebench micro in
+        Tab.print tab;
+        maybe_csv "fig-9.2" tab);
+    section "fig-9.3" "Datacenter throughput" (fun () ->
+        let tab = E.Perf_report.fig_apps macro in
+        Tab.print tab;
+        maybe_csv "fig-9.3" tab;
+        Tab.print (E.Perf_report.kernel_time_table macro));
+    section "table-10.1" "Fence breakdown (ISV vs DSV)" (fun () ->
+        Tab.print (E.Perf_report.fence_breakdown (micro @ macro)));
+    section "comparisons" "Spot and hardware mitigation comparison" (fun () ->
+        Tab.print (E.Perf_report.comparison_summary ~micro ~macro));
+    section "sensitivity" "9.2 sensitivity analyses" (fun () ->
+        Tab.print (E.Sensitivity.hit_rates ~micro ~macro);
+        let tab, _ = E.Sensitivity.unknown_allocations ~scale:(Float.min !scale 0.5) () in
+        Tab.print tab;
+        Tab.print (E.Sensitivity.fragmentation_table (E.Sensitivity.fragmentation ()));
+        Tab.print (E.Sensitivity.domain_reassignment ~macro);
+        Tab.print (E.Sensitivity.isv_metadata ~macro);
+        Tab.print (E.Sensitivity.cache_size_sweep ~scale:(Float.min !scale 0.6) ()))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core primitives                      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  (* DSV/ISV cache lookup *)
+  let svcache = Perspective.Svcache.create ~name:"bench" () in
+  for i = 0 to 127 do
+    Perspective.Svcache.install svcache ~asid:1 i (i mod 2 = 0)
+  done;
+  let t_svcache =
+    Test.make ~name:"svcache-lookup"
+      (Staged.stage (fun () -> ignore (Perspective.Svcache.lookup svcache ~asid:1 64)))
+  in
+  (* DSVMT walk *)
+  let dsvmt = Perspective.Dsvmt.create ~ctx:1 ~oracle:(fun ~page -> page land 1 = 0) in
+  let page = ref 0 in
+  let t_dsvmt =
+    Test.make ~name:"dsvmt-walk"
+      (Staged.stage (fun () ->
+           page := (!page + 97) land 0xFFFF;
+           ignore (Perspective.Dsvmt.walk dsvmt ~page:!page)))
+  in
+  (* secure slab kmalloc/kfree *)
+  let phys = Pv_kernel.Physmem.create ~frames:4096 in
+  let slab = Pv_kernel.Slab.create ~mode:Pv_kernel.Slab.Secure phys in
+  let t_slab =
+    Test.make ~name:"secure-slab-kmalloc-kfree"
+      (Staged.stage (fun () ->
+           match Pv_kernel.Slab.kmalloc slab ~owner:(Pv_kernel.Physmem.Cgroup 1) ~size:64 with
+           | Some va -> Pv_kernel.Slab.kfree slab va
+           | None -> ()))
+  in
+  (* buddy allocator *)
+  let t_buddy =
+    Test.make ~name:"buddy-alloc-free"
+      (Staged.stage (fun () ->
+           match Pv_kernel.Physmem.alloc_pages phys ~order:0 Pv_kernel.Physmem.Kernel with
+           | Some f -> Pv_kernel.Physmem.free_pages phys ~frame:f ~order:0
+           | None -> ()))
+  in
+  (* pipeline throughput: one complete run of a 64-iteration loop *)
+  let bench_prog =
+    let a = Pv_isa.Asm.create () in
+    let loop = Pv_isa.Asm.fresh_label a in
+    let done_ = Pv_isa.Asm.fresh_label a in
+    Pv_isa.Asm.li a 1 0;
+    Pv_isa.Asm.li a 2 64;
+    Pv_isa.Asm.li a 3 Pv_isa.Layout.user_data_base;
+    Pv_isa.Asm.place a loop;
+    Pv_isa.Asm.branch a Pv_isa.Insn.Ge 1 2 done_;
+    Pv_isa.Asm.load a 4 3 0;
+    Pv_isa.Asm.alui a Pv_isa.Insn.Add 1 1 1;
+    Pv_isa.Asm.jump a loop;
+    Pv_isa.Asm.place a done_;
+    Pv_isa.Asm.halt a;
+    Pv_isa.Program.of_funcs
+      [
+        {
+          Pv_isa.Program.fid = 0;
+          name = "bench";
+          space = Pv_isa.Layout.User;
+          body = Pv_isa.Asm.finish a;
+        };
+      ]
+  in
+  let t_pipeline =
+    Test.make ~name:"pipeline-64-iter-loop"
+      (Staged.stage (fun () ->
+           let ms = Pv_uarch.Memsys.create (Pv_isa.Mem.create ()) in
+           let pipe = Pv_uarch.Pipeline.create ms bench_prog in
+           ignore (Pv_uarch.Pipeline.run pipe ~asid:1 ~start:0)))
+  in
+  let tests =
+    Test.make_grouped ~name:"perspective-primitives"
+      [ t_svcache; t_dsvmt; t_slab; t_buddy; t_pipeline ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n###### [bechamel] Core primitive timings ######\n\n%!";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "  %-50s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-50s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      scale := 0.3;
+      parse rest
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--only" :: l :: rest ->
+      only := Some l;
+      parse rest
+    | "--no-bechamel" :: rest ->
+      run_bechamel := false;
+      parse rest
+    | "--csv" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      csv_dir := Some dir;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s\n\
+         usage: main.exe [--quick] [--scale F] [--only LABEL] [--no-bechamel] [--csv DIR]\n\
+         labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
+        \        fig-9.1 fig-9.2 fig-9.3 poc-attacks comparisons sensitivity\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Printf.printf "Perspective reproduction benchmark harness\n";
+  Printf.printf "==========================================\n";
+  static_sections ();
+  isv_sections ();
+  poc_section ();
+  perf_sections ();
+  if !run_bechamel && !only = None then bechamel_suite ();
+  Printf.printf "\nDone.\n"

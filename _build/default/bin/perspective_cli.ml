@@ -1,0 +1,200 @@
+(* Command-line interface for the Perspective reproduction.
+
+   Subcommands:
+     attack    run the transient-execution PoCs under a chosen scheme
+     surface   ISV attack-surface study (Tables 8.1/8.2, Figure 9.1)
+     perf      cycle-level performance runs (Figures 9.2/9.3, Table 10.1)
+     hw        view-cache hardware characterization (Table 9.1)
+     params    simulation parameters (Table 7.1)
+     cves      the kernel CVE taxonomy (Table 4.1) *)
+
+module E = Pv_experiments
+module Tab = Pv_util.Tab
+module Defense = Perspective.Defense
+module Isv = Perspective.Isv
+open Cmdliner
+
+let scheme_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "UNSAFE" -> Ok Defense.Unsafe
+    | "FENCE" -> Ok Defense.Fence
+    | "DOM" -> Ok Defense.Dom
+    | "STT" -> Ok Defense.Stt
+    | "PERSPECTIVE-STATIC" -> Ok (Defense.Perspective Isv.Static)
+    | "PERSPECTIVE" -> Ok (Defense.Perspective Isv.Dynamic)
+    | "PERSPECTIVE++" -> Ok (Defense.Perspective Isv.Plus)
+    | "PERSPECTIVE-ALL" | "DSV-ONLY" -> Ok (Defense.Perspective Isv.All)
+    | _ -> Error (`Msg ("unknown scheme: " ^ s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Defense.scheme_name s))
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt (some scheme_conv) None
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Defense scheme: unsafe, fence, dom, stt, perspective-static, perspective, \
+           perspective++, dsv-only.  Default: run all.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (iterations/requests).")
+
+(* --- attack --- *)
+
+let attack_kinds = [ "v1"; "v2"; "rsb"; "all" ]
+
+let attack_cmd =
+  let kind =
+    Arg.(
+      value & pos 0 (enum (List.map (fun k -> (k, k)) attack_kinds)) "all"
+      & info [] ~docv:"ATTACK" ~doc:"v1 (active), v2 (passive), rsb (passive), or all.")
+  in
+  let run kind scheme seed =
+    let verdict label secret leaked fences =
+      Printf.printf "  %-22s secret=%3d leaked=%-4s fences=%-3d -> %s\n" label secret
+        (match leaked with Some v -> string_of_int v | None -> "none")
+        fences
+        (if leaked = Some secret then "SECRET LEAKED" else "blocked")
+    in
+    let v1 s =
+      let o = Pv_attacks.Spectre_v1.run ~seed ~scheme:s () in
+      verdict o.Pv_attacks.Spectre_v1.scheme o.Pv_attacks.Spectre_v1.secret
+        o.Pv_attacks.Spectre_v1.leaked o.Pv_attacks.Spectre_v1.fences
+    in
+    let v2 s =
+      let o = Pv_attacks.Spectre_v2.run ~seed ~scheme:s () in
+      verdict o.Pv_attacks.Spectre_v2.scheme o.Pv_attacks.Spectre_v2.secret
+        o.Pv_attacks.Spectre_v2.leaked o.Pv_attacks.Spectre_v2.fences
+    in
+    let rsb s =
+      let o = Pv_attacks.Spectre_rsb.run ~seed ~scheme:s () in
+      verdict o.Pv_attacks.Spectre_rsb.scheme o.Pv_attacks.Spectre_rsb.secret
+        o.Pv_attacks.Spectre_rsb.leaked o.Pv_attacks.Spectre_rsb.fences
+    in
+    let schemes =
+      match scheme with
+      | Some s -> [ s ]
+      | None ->
+        [
+          Defense.Unsafe; Defense.Fence; Defense.Dom; Defense.Stt;
+          Defense.Perspective Isv.All; Defense.Perspective Isv.Static;
+          Defense.Perspective Isv.Dynamic; Defense.Perspective Isv.Plus;
+        ]
+    in
+    let section name f =
+      Printf.printf "%s:\n" name;
+      List.iter f schemes
+    in
+    (match kind with
+    | "v1" -> section "Spectre v1 (active)" v1
+    | "v2" -> section "Spectre v2 (passive, type confusion)" v2
+    | "rsb" -> section "Spectre-RSB (passive, ret2spec)" rsb
+    | _ ->
+      section "Spectre v1 (active)" v1;
+      section "Spectre v2 (passive, type confusion)" v2;
+      section "Spectre-RSB (passive, ret2spec)" rsb);
+    0
+  in
+  let doc = "Run transient-execution attack PoCs on the simulator." in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ kind $ scheme_arg $ seed_arg)
+
+(* --- surface --- *)
+
+let surface_cmd =
+  let run seed =
+    let study = E.Isv_study.build ~seed () in
+    Tab.print (E.Isv_study.surface_table study);
+    Tab.print (E.Isv_study.gadget_table study);
+    Tab.print (E.Isv_study.speedup_table ~seed study);
+    0
+  in
+  let doc = "ISV attack-surface study: Tables 8.1/8.2 and Figure 9.1." in
+  Cmd.v (Cmd.info "surface" ~doc) Term.(const run $ seed_arg)
+
+(* --- perf --- *)
+
+let perf_cmd =
+  let workload =
+    Arg.(
+      value & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"One LEBench test or app name; default: everything.")
+  in
+  let run workload scheme seed scale =
+    let variants =
+      match scheme with
+      | Some s ->
+        [ E.Schemes.unsafe ]
+        @ List.filter (fun v -> v.E.Schemes.scheme = s) (E.Schemes.standard @ E.Schemes.hardware)
+      | None -> E.Schemes.standard @ E.Schemes.hardware
+    in
+    let micro_tests =
+      match workload with
+      | None -> Pv_workloads.Lebench.tests
+      | Some w -> (
+        match List.find_opt (fun t -> t.Pv_workloads.Lebench.name = w) Pv_workloads.Lebench.tests with
+        | Some t -> [ t ]
+        | None -> [])
+    in
+    let apps =
+      match workload with
+      | None -> Pv_workloads.Apps.all
+      | Some w -> List.filter (fun a -> a.Pv_workloads.Apps.name = w) Pv_workloads.Apps.all
+    in
+    if micro_tests <> [] then begin
+      let matrix =
+        List.map
+          (fun t ->
+            ( t.Pv_workloads.Lebench.name,
+              List.map (fun v -> E.Perf.run_lebench ~seed ~scale v t) variants ))
+          micro_tests
+      in
+      Tab.print (E.Perf_report.fig_lebench matrix)
+    end;
+    if apps <> [] then begin
+      let matrix =
+        List.map
+          (fun a ->
+            (a.Pv_workloads.Apps.name, List.map (fun v -> E.Perf.run_app ~seed ~scale v a) variants))
+          apps
+      in
+      Tab.print (E.Perf_report.fig_apps matrix)
+    end;
+    if micro_tests = [] && apps = [] then begin
+      Printf.eprintf "unknown workload\n";
+      1
+    end
+    else 0
+  in
+  let doc = "Cycle-level performance runs (Figures 9.2/9.3)." in
+  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ workload $ scheme_arg $ seed_arg $ scale_arg)
+
+(* --- small static commands --- *)
+
+let table_cmd name doc table =
+  let run () =
+    Tab.print (table ());
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
+
+let hw_cmd = table_cmd "hw" "View-cache hardware characterization (Table 9.1)."
+    E.Static_tables.hw_characterization
+
+let params_cmd = table_cmd "params" "Simulation parameters (Table 7.1)." E.Static_tables.sim_params
+
+let cves_cmd = table_cmd "cves" "Kernel CVE taxonomy (Table 4.1)." E.Security.cve_table
+
+let () =
+  let doc = "Perspective: pliable and secure speculation in operating systems (reproduction)" in
+  let info = Cmd.info "perspective" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ attack_cmd; surface_cmd; perf_cmd; hw_cmd; params_cmd; cves_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array List Printf Pv_experiments Pv_workloads String Sys

@@ -1,0 +1,1 @@
+examples/isv_audit.ml: List Perspective Printf Pv_isvgen Pv_kernel Pv_scanner Pv_util Pv_workloads

@@ -1,0 +1,1 @@
+examples/isv_audit.mli:

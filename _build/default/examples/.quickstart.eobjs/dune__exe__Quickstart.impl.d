@@ -1,0 +1,1 @@
+examples/quickstart.ml: Perspective Printf Pv_kernel Pv_sim Pv_uarch Pv_workloads

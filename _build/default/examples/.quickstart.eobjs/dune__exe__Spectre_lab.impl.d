@@ -1,0 +1,1 @@
+examples/spectre_lab.ml: List Perspective Printf Pv_attacks String

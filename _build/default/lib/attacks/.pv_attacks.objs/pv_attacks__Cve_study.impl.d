@@ -1,0 +1,1 @@
+lib/attacks/cve_study.ml: List

@@ -1,0 +1,1 @@
+lib/attacks/lab.ml: List Perspective Pv_isa Pv_kernel Pv_uarch Pv_util

@@ -1,0 +1,1 @@
+lib/attacks/spectre_rsb.mli: Perspective

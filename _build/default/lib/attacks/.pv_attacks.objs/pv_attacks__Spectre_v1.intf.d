@@ -1,0 +1,1 @@
+lib/attacks/spectre_v1.mli: Perspective

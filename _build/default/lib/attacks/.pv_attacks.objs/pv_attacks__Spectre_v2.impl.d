@@ -1,0 +1,1 @@
+lib/attacks/spectre_v2.ml: Lab List Perspective Pv_isa Pv_kernel Pv_uarch Pv_util

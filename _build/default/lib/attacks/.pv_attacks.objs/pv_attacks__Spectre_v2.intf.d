@@ -1,0 +1,1 @@
+lib/attacks/spectre_v2.mli: Perspective

@@ -1,0 +1,25 @@
+(** Passive transient-execution attack: Spectre-RSB / ret2spec.
+
+    The return address stack predicts from stale entries on underflow.  The
+    attacker runs first, leaving the VA of a gadget in its own user code at
+    the top of the RAS.  The victim's system call ends in a return whose
+    stack line the attacker evicted: while the return resolves, fetch
+    speculates to the stale RAS entry — the attacker's user-space gadget —
+    which runs transiently {e in kernel context} with the victim's secret
+    reference still live in a register, and transmits it.
+
+    The victim's ISV cannot contain attacker user code, so Perspective fences
+    the gadget's transmitters regardless of how the ISV was generated. *)
+
+type outcome = {
+  scheme : string;
+  secret : int;
+  leaked : int option;
+  success : bool;
+  fences : int;
+  hot_slot_count : int;
+}
+
+val run : ?seed:int -> scheme:Perspective.Defense.scheme -> unit -> outcome
+
+val run_all : ?seed:int -> unit -> outcome list

@@ -1,0 +1,42 @@
+(** Passive transient-execution attack: Spectre-v2 speculative control-flow
+    hijacking with type confusion (paper Figure 4.2).
+
+    A shared kernel function dispatches through a function pointer after
+    loading a reference to the caller's data.  The attacker first calls the
+    same syscall with {e its} file type bound to a gadget-shaped ops
+    implementation, training the (VA-indexed, untagged) BTB entry of the
+    kernel's indirect call toward the gadget.  When the {e victim} then makes
+    the syscall, the indirect call — its function-pointer load evicted, so
+    resolution is slow — is predicted into the gadget, which dereferences the
+    victim's in-flight pointer (speculative type confusion) and transmits the
+    victim's secret through the cache.
+
+    Every access in the gadget touches {e victim-owned} data, so DSVs alone
+    cannot stop it ([Perspective Isv.All] leaks); the victim's ISV — which
+    does not contain the gadget function — does (paper §5.1). *)
+
+type outcome = {
+  scheme : string;
+  secret : int;
+  leaked : int option;
+  success : bool;
+  fences : int;
+  hot_slot_count : int;
+}
+
+val run : ?seed:int -> scheme:Perspective.Defense.scheme -> unit -> outcome
+
+val run_all : ?seed:int -> unit -> outcome list
+(** All baseline schemes, the DSV-only configuration
+    ([Perspective Isv.All]) and the ISV configurations. *)
+
+type patch_outcome = {
+  before_patch : outcome;  (** gadget (wrongly) trusted by the victim's ISV *)
+  after_patch : outcome;  (** same live system after excluding the gadget *)
+}
+
+val run_patch_demo : ?seed:int -> unit -> patch_outcome
+(** The paper's "swiftly patching gadgets" workflow (§5.4): start from a
+    victim ISV that mistakenly trusts the gadget function — the passive
+    attack leaks even under PERSPECTIVE — then exclude the function from the
+    live view (no kernel patch, no downtime) and re-run the attack: blocked. *)

@@ -1,0 +1,1 @@
+lib/core/defense.ml: Dsvmt Isv Isv_pages Pv_isa Pv_uarch Svcache View_manager

@@ -1,0 +1,1 @@
+lib/core/defense.mli: Isv Isv_pages Pv_uarch Svcache View_manager

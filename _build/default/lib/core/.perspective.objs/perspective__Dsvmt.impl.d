@@ -1,0 +1,1 @@
+lib/core/dsvmt.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/core/isv.ml: Pv_util

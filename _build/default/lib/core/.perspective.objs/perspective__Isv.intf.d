@@ -1,0 +1,1 @@
+lib/core/isv.mli: Pv_util

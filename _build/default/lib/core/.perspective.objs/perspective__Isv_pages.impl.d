@@ -1,0 +1,1 @@
+lib/core/isv_pages.ml: Array Hashtbl List Pv_isa

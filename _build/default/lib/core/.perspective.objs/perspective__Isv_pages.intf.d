@@ -1,0 +1,1 @@
+lib/core/isv_pages.mli:

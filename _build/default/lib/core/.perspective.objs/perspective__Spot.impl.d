@@ -1,0 +1,1 @@
+lib/core/spot.ml: Pv_uarch

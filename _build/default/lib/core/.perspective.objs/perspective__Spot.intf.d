@@ -1,0 +1,1 @@
+lib/core/spot.mli: Pv_uarch

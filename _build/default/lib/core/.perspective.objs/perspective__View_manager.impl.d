@@ -1,0 +1,1 @@
+lib/core/view_manager.ml: Dsvmt Hashtbl Isv List

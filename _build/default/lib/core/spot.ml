@@ -1,0 +1,16 @@
+module Pipeline = Pv_uarch.Pipeline
+
+let kpti_entry_extra = 70
+
+let kpti_exit_extra = 60
+
+let retpoline (c : Pipeline.config) = { c with Pipeline.retpoline = true }
+
+let kpti (c : Pipeline.config) =
+  {
+    c with
+    Pipeline.kernel_entry_cycles = c.Pipeline.kernel_entry_cycles + kpti_entry_extra;
+    kernel_exit_cycles = c.Pipeline.kernel_exit_cycles + kpti_exit_extra;
+  }
+
+let kpti_retpoline c = kpti (retpoline c)

@@ -1,0 +1,35 @@
+(** The speculation-view hardware caches (paper §6.2, Figure 6.1(b)).
+
+    A small set-associative cache holding one view bit per entry, tagged with
+    the address-space id so context switches need no flush.  Used both as the
+    ISV cache (keyed by instruction-VA line) and the DSV cache (keyed by data
+    page).  Matching the paper's conservative design, LRU promotion can be
+    deferred to the load's Visibility Point via {!touch}. *)
+
+type t
+
+val create : ?entries:int -> ?ways:int -> name:string -> unit -> t
+(** Defaults: 128 entries, 4 ways (Table 7.1). *)
+
+val name : t -> string
+
+type lookup = Hit of bool | Miss
+
+val lookup : t -> asid:int -> int -> lookup
+(** [lookup t ~asid key] probes without LRU promotion (deferred to VP). *)
+
+val install : t -> asid:int -> int -> bool -> unit
+(** Fill after a DSVMT walk / ISV-page fetch, evicting the set's LRU entry. *)
+
+val touch : t -> asid:int -> int -> unit
+(** LRU promotion at the Visibility Point. *)
+
+val invalidate : t -> int -> unit
+(** Drop all entries for a key across all ASIDs (view reconfiguration,
+    page frees). *)
+
+val flush : t -> unit
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float
+val reset_stats : t -> unit

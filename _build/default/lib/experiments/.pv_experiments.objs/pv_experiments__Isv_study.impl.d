@@ -1,0 +1,1 @@
+lib/experiments/isv_study.ml: List Printf Pv_isvgen Pv_kernel Pv_scanner Pv_util Workset

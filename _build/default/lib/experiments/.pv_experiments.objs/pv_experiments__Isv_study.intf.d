@@ -1,0 +1,1 @@
+lib/experiments/isv_study.mli: Pv_kernel Pv_scanner Pv_util

@@ -1,0 +1,1 @@
+lib/experiments/perf.mli: Pv_uarch Pv_workloads Schemes

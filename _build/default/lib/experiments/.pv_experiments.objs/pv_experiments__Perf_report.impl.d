@@ -1,0 +1,1 @@
+lib/experiments/perf_report.ml: Float List Perf Pv_uarch Pv_util String

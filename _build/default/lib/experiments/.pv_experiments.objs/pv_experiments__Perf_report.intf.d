@@ -1,0 +1,1 @@
+lib/experiments/perf_report.mli: Perf Pv_util

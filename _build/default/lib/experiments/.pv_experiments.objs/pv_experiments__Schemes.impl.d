@@ -1,0 +1,1 @@
+lib/experiments/schemes.ml: List Perspective Pv_uarch

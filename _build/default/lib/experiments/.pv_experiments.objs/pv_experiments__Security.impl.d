@@ -1,0 +1,1 @@
+lib/experiments/security.ml: List Pv_attacks Pv_util String

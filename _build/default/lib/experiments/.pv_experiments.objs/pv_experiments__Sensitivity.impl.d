@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Array List Perf Printf Pv_kernel Pv_util Pv_workloads Schemes

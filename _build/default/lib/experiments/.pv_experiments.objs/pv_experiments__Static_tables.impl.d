@@ -1,0 +1,1 @@
+lib/experiments/static_tables.ml: List Printf Pv_hwmodel Pv_uarch Pv_util

@@ -1,0 +1,1 @@
+lib/experiments/static_tables.mli: Pv_util

@@ -1,0 +1,1 @@
+lib/experiments/workset.ml: List Pv_kernel Pv_workloads

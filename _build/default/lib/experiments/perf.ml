@@ -1,0 +1,128 @@
+module Machine = Pv_sim.Machine
+module Pipeline = Pv_uarch.Pipeline
+module Kernel = Pv_kernel.Kernel
+module Slab = Pv_kernel.Slab
+module Lebench = Pv_workloads.Lebench
+module Apps = Pv_workloads.Apps
+module Driver = Pv_workloads.Driver
+module Defense = Perspective.Defense
+module Svcache = Perspective.Svcache
+
+type run = {
+  label : string;
+  workload : string;
+  cycles : int;
+  committed : int;
+  counters : Pipeline.counters;
+  kernel_cycle_fraction : float;
+  isv_hit_rate : float;
+  dsv_hit_rate : float;
+  slab_utilization : float;
+  slab_frees : int;
+  slab_page_returns : int;
+  isv_pages_populated : int;
+  isv_metadata_bytes : int;
+  units : int;
+}
+
+let fences_per_kiloinstr run =
+  let k = float_of_int (max 1 run.counters.Pipeline.committed_kernel) /. 1000.0 in
+  ( float_of_int run.counters.Pipeline.fences_isv /. k,
+    float_of_int run.counters.Pipeline.fences_dsv /. k )
+
+let profile_reps = 25
+
+let execute ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterations
+    ~user_work ~workload_name (variant : Schemes.variant) =
+  let pipe_config = variant.Schemes.transform Pipeline.default_config in
+  let m = Machine.create ~pipe_config ~seed ~syscalls () in
+  let h =
+    Machine.add_process m ~name:workload_name
+      ~user_funcs:(Driver.build ~iterations ~sequence ~user_work)
+      ~entry:0
+  in
+  Machine.freeze m;
+  Machine.profile m h ~workload:sequence ~repetitions:profile_reps;
+  let gadget_nodes =
+    match variant.Schemes.scheme with
+    | Defense.Perspective Perspective.Isv.Plus ->
+      let corpus = Pv_scanner.Gadgets.plant (Kernel.graph (Machine.kernel m)) ~seed in
+      Pv_scanner.Gadgets.nodes corpus
+    | Defense.Perspective (Perspective.Isv.Static | Perspective.Isv.Dynamic | Perspective.Isv.All)
+    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt ->
+      []
+  in
+  Machine.install_defense m ~gadget_nodes ~block_unknown
+    ~isv_cache_entries:view_cache_entries ~dsv_cache_entries:view_cache_entries
+    variant.Schemes.scheme;
+  let result, delta = Machine.run m h in
+  (match result.Pipeline.outcome with
+  | Pipeline.Halted -> ()
+  | Pipeline.Out_of_fuel -> failwith (workload_name ^ ": out of fuel")
+  | Pipeline.Fault msg -> failwith (workload_name ^ ": fault: " ^ msg));
+  let slab = Kernel.slab (Machine.kernel m) in
+  let hit_rate cache_of =
+    match Machine.defense m with
+    | Some d -> Svcache.hit_rate (cache_of d)
+    | None -> 0.0
+  in
+  let ctx = Pv_kernel.Process.cgroup (Machine.process h) in
+  let pages, meta_bytes =
+    match Machine.defense m with
+    | Some d ->
+      ( Perspective.Isv_pages.populated_pages (Defense.isv_pages d) ~ctx,
+        Perspective.Isv_pages.metadata_bytes (Defense.isv_pages d) ~ctx )
+    | None -> (0, 0)
+  in
+  {
+    label = variant.Schemes.label;
+    workload = workload_name;
+    cycles = result.Pipeline.cycles;
+    committed = result.Pipeline.committed;
+    counters = delta;
+    kernel_cycle_fraction =
+      float_of_int delta.Pipeline.kernel_cycles
+      /. float_of_int (max 1 delta.Pipeline.cycles);
+    isv_hit_rate = hit_rate Defense.isv_cache;
+    dsv_hit_rate = hit_rate Defense.dsv_cache;
+    slab_utilization = Slab.utilization slab;
+    slab_frees = Slab.total_frees slab;
+    slab_page_returns = Slab.page_returns slab;
+    isv_pages_populated = pages;
+    isv_metadata_bytes = meta_bytes;
+    units = iterations;
+  }
+
+let run_lebench ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
+    ?(view_cache_entries = 128) variant test =
+  let test = Lebench.scaled test ~factor:scale in
+  execute ~seed ~block_unknown ~view_cache_entries ~syscalls:Lebench.all_syscalls
+    ~sequence:test.Lebench.sequence ~iterations:test.Lebench.iterations
+    ~user_work:test.Lebench.user_work ~workload_name:test.Lebench.name variant
+
+let run_app ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
+    ?(view_cache_entries = 128) variant app =
+  let app = Apps.scaled app ~factor:scale in
+  execute ~seed ~block_unknown ~view_cache_entries ~syscalls:Apps.all_syscalls
+    ~sequence:app.Apps.request ~iterations:app.Apps.requests
+    ~user_work:app.Apps.user_work ~workload_name:app.Apps.name variant
+
+let lebench_matrix ?(seed = 42) ?(scale = 1.0) ~variants () =
+  List.map
+    (fun test ->
+      (test.Lebench.name, List.map (fun v -> run_lebench ~seed ~scale v test) variants))
+    Lebench.tests
+
+let apps_matrix ?(seed = 42) ?(scale = 1.0) ~variants () =
+  List.map
+    (fun app -> (app.Apps.name, List.map (fun v -> run_app ~seed ~scale v app) variants))
+    Apps.all
+
+let overhead_pct ~baseline run =
+  (float_of_int run.cycles /. float_of_int baseline.cycles -. 1.0) *. 100.0
+
+let normalized_latency ~baseline run =
+  float_of_int run.cycles /. float_of_int baseline.cycles
+
+let normalized_throughput ~baseline run =
+  float_of_int baseline.cycles /. float_of_int run.cycles

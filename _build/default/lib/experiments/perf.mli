@@ -1,0 +1,68 @@
+(** Cycle-level performance runs: the measurement engine behind Figures 9.2
+    and 9.3, Table 10.1 and the §9.2 sensitivity studies.
+
+    Each run builds a fresh machine (so no microarchitectural state leaks
+    between schemes), functionally profiles the workload to feed dynamic
+    ISVs, plants the gadget corpus (for ISV++), installs the defense variant
+    and executes the workload's driver on the pipeline. *)
+
+type run = {
+  label : string;
+  workload : string;
+  cycles : int;
+  committed : int;
+  counters : Pv_uarch.Pipeline.counters;
+  kernel_cycle_fraction : float;
+  isv_hit_rate : float;
+  dsv_hit_rate : float;
+  slab_utilization : float;
+  slab_frees : int;
+  slab_page_returns : int;
+  isv_pages_populated : int;  (** demand-populated ISV metadata pages *)
+  isv_metadata_bytes : int;
+  units : int;  (** iterations (LEBench) or requests (apps) *)
+}
+
+val fences_per_kiloinstr : run -> float * float
+(** (ISV, DSV) fences per thousand committed kernel instructions. *)
+
+val run_lebench :
+  ?seed:int ->
+  ?scale:float ->
+  ?block_unknown:bool ->
+  ?view_cache_entries:int ->
+  Schemes.variant ->
+  Pv_workloads.Lebench.test ->
+  run
+
+val run_app :
+  ?seed:int ->
+  ?scale:float ->
+  ?block_unknown:bool ->
+  ?view_cache_entries:int ->
+  Schemes.variant ->
+  Pv_workloads.Apps.app ->
+  run
+
+val lebench_matrix :
+  ?seed:int ->
+  ?scale:float ->
+  variants:Schemes.variant list ->
+  unit ->
+  (string * run list) list
+(** One row per LEBench test, one run per variant (same order). *)
+
+val apps_matrix :
+  ?seed:int ->
+  ?scale:float ->
+  variants:Schemes.variant list ->
+  unit ->
+  (string * run list) list
+
+val overhead_pct : baseline:run -> run -> float
+(** Execution-time overhead vs the baseline run. *)
+
+val normalized_latency : baseline:run -> run -> float
+
+val normalized_throughput : baseline:run -> run -> float
+(** Requests/second normalized: baseline cycles / run cycles. *)

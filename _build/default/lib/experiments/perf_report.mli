@@ -1,0 +1,31 @@
+(** Renderers for the performance evaluation: Figure 9.2 (LEBench normalized
+    latency), Figure 9.3 (datacenter throughput), the §9.1 spot/hardware
+    mitigation comparisons, and Table 10.1 (fence breakdown). *)
+
+val fig_lebench : (string * Perf.run list) list -> Pv_util.Tab.t
+(** Normalized latency per test per scheme; the first run of each row must be
+    the UNSAFE baseline.  Ends with the per-scheme averages. *)
+
+val fig_apps : (string * Perf.run list) list -> Pv_util.Tab.t
+(** Normalized requests/second per app per scheme. *)
+
+val average_overhead : (string * Perf.run list) list -> (string * float) list
+(** Per-scheme average execution overhead (%) vs the leading UNSAFE run. *)
+
+val average_throughput_overhead :
+  (string * Perf.run list) list -> (string * float) list
+(** Per-scheme average throughput loss (%) vs UNSAFE. *)
+
+val fence_breakdown : (string * Perf.run list) list -> Pv_util.Tab.t
+(** Table 10.1: per Perspective variant, the ISV/DSV share of fences and the
+    fences per kilo-instruction, averaged over the workloads. *)
+
+val comparison_summary :
+  micro:(string * Perf.run list) list ->
+  macro:(string * Perf.run list) list ->
+  Pv_util.Tab.t
+(** §9.1: average overheads of every scheme on microbenchmarks and
+    datacenter applications side by side with the paper's numbers. *)
+
+val kernel_time_table : (string * Perf.run list) list -> Pv_util.Tab.t
+(** Chapter 7: fraction of execution time spent in the OS per application. *)

@@ -1,0 +1,49 @@
+(** Labelled defense configurations used across the evaluation: the paper's
+    five schemes (Chapter 7), the hardware-only comparisons DOM/STT, and the
+    deployed software "spot" mitigations (§9.1). *)
+
+module Defense = Perspective.Defense
+module Isv = Perspective.Isv
+module Pipeline = Pv_uarch.Pipeline
+
+type variant = {
+  label : string;
+  scheme : Defense.scheme;
+  transform : Pipeline.config -> Pipeline.config;
+}
+
+let plain label scheme = { label; scheme; transform = (fun c -> c) }
+
+let unsafe = plain "UNSAFE" Defense.Unsafe
+
+let fence = plain "FENCE" Defense.Fence
+
+let perspective_static = plain "PERSPECTIVE-STATIC" (Defense.Perspective Isv.Static)
+
+let perspective = plain "PERSPECTIVE" (Defense.Perspective Isv.Dynamic)
+
+let perspective_plus = plain "PERSPECTIVE++" (Defense.Perspective Isv.Plus)
+
+let dom = plain "DOM" Defense.Dom
+
+let stt = plain "STT" Defense.Stt
+
+let retpoline =
+  { label = "RETPOLINE"; scheme = Defense.Unsafe; transform = Perspective.Spot.retpoline }
+
+let kpti_retpoline =
+  {
+    label = "KPTI+RETPOLINE";
+    scheme = Defense.Unsafe;
+    transform = Perspective.Spot.kpti_retpoline;
+  }
+
+let standard = [ unsafe; fence; perspective_static; perspective; perspective_plus ]
+
+let hardware = [ dom; stt ]
+
+let spot = [ retpoline; kpti_retpoline ]
+
+let everything = standard @ hardware @ spot
+
+let find label = List.find (fun v -> v.label = label) everything

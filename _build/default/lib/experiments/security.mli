@@ -1,0 +1,18 @@
+(** Chapter 8 security evaluation: proof-of-concept transient-execution
+    attacks under every defense scheme (active Spectre v1; passive Spectre v2
+    with type confusion; passive Spectre-RSB), plus the Table 4.1 CVE study
+    rendering. *)
+
+type poc = {
+  attack : string;
+  scheme : string;
+  leaked : bool;
+  correct : bool;  (** the leaked value equalled the planted secret *)
+  fences : int;
+}
+
+val run_pocs : ?seed:int -> unit -> poc list
+val poc_table : poc list -> Pv_util.Tab.t
+
+val cve_table : unit -> Pv_util.Tab.t
+(** Table 4.1. *)

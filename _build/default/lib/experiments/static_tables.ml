@@ -1,0 +1,85 @@
+module Tab = Pv_util.Tab
+module Cacti = Pv_hwmodel.Cacti
+module Pipeline = Pv_uarch.Pipeline
+module Memsys = Pv_uarch.Memsys
+
+let sim_params () =
+  let c = Pipeline.default_config in
+  let m = Memsys.default_config in
+  let tab =
+    Tab.create ~title:"Table 7.1: Full-system simulation parameters"
+      ~header:[ ("Parameter", Tab.Left); ("Value", Tab.Left) ]
+  in
+  Tab.row tab [ "Architecture"; "out-of-order core at 2.0 GHz (cycle-level model)" ];
+  Tab.row tab
+    [
+      "Core";
+      Printf.sprintf
+        "%d-issue, out-of-order, %d LQ, %d SQ, %d ROB, TAGE predictor, %d BTB, %d RAS"
+        c.Pipeline.issue_width c.Pipeline.lq_entries c.Pipeline.sq_entries
+        c.Pipeline.rob_entries c.Pipeline.btb_entries c.Pipeline.ras_entries;
+    ];
+  Tab.row tab
+    [
+      "Private L1-I";
+      Printf.sprintf "%d KB, 64 B line, %d-way, %d-cycle RT" (m.Memsys.l1i_bytes / 1024)
+        m.Memsys.l1i_ways m.Memsys.l1i_latency;
+    ];
+  Tab.row tab
+    [
+      "Private L1-D";
+      Printf.sprintf "%d KB, 64 B line, %d-way, %d-cycle RT" (m.Memsys.l1d_bytes / 1024)
+        m.Memsys.l1d_ways m.Memsys.l1d_latency;
+    ];
+  Tab.row tab
+    [
+      "Shared L2";
+      Printf.sprintf "%d MB, 64 B line, %d-way, %d-cycle RT"
+        (m.Memsys.l2_bytes / 1024 / 1024) m.Memsys.l2_ways m.Memsys.l2_latency;
+    ];
+  Tab.row tab [ "DRAM"; Printf.sprintf "%d-cycle RT after L2 (50 ns at 2 GHz)" m.Memsys.dram_latency ];
+  Tab.row tab [ "ISV cache"; "128 entries, 32 sets, 4-way; 57 bits/entry" ];
+  Tab.row tab [ "DSV cache"; "128 entries, 32 sets, 4-way; 53 bits/entry" ];
+  Tab.row tab [ "OS kernel"; "synthetic 28K-function kernel (Linux v5.4.49 stand-in)" ];
+  tab
+
+let hw_row tab name cfg =
+  let c = Cacti.characterize cfg in
+  Tab.row tab
+    [
+      name;
+      Printf.sprintf "%.4f mm2" c.Cacti.area_mm2;
+      Printf.sprintf "%.0f ps" c.Cacti.access_ps;
+      Printf.sprintf "%.2f pJ" c.Cacti.dyn_energy_pj;
+      Printf.sprintf "%.2f mW" c.Cacti.leak_power_mw;
+    ]
+
+let header =
+  [
+    ("Configuration", Tab.Left);
+    ("Area", Tab.Right);
+    ("Access time", Tab.Right);
+    ("Dyn. energy", Tab.Right);
+    ("Leak. power", Tab.Right);
+  ]
+
+let hw_characterization () =
+  let tab = Tab.create ~title:"Table 9.1: Hardware structure characterization (22 nm)" ~header in
+  hw_row tab "DSV cache" Cacti.dsv_cache_config;
+  hw_row tab "ISV cache" Cacti.isv_cache_config;
+  Tab.caption tab
+    "Paper (CACTI 7): DSV 0.0024 mm2 / 114 ps / 1.21 pJ / 0.78 mW; ISV 0.0025 mm2 / \
+     115 ps / 1.29 pJ / 0.79 mW.";
+  tab
+
+let hw_sensitivity () =
+  let tab =
+    Tab.create ~title:"View-cache characterization vs capacity (extension)" ~header
+  in
+  List.iter
+    (fun entries ->
+      hw_row tab
+        (Printf.sprintf "DSV cache, %d entries" entries)
+        { Cacti.dsv_cache_config with Cacti.entries })
+    [ 64; 128; 256; 512 ];
+  tab

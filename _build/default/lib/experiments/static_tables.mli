@@ -1,0 +1,9 @@
+(** Configuration and analytical tables: Table 7.1 (simulation parameters)
+    and Table 9.1 (view-cache hardware characterization). *)
+
+val sim_params : unit -> Pv_util.Tab.t
+val hw_characterization : unit -> Pv_util.Tab.t
+
+val hw_sensitivity : unit -> Pv_util.Tab.t
+(** Extension: how the view-cache characterization scales with entry count
+    (sensitivity companion to Table 9.1). *)

@@ -1,0 +1,38 @@
+(** The evaluation's workload set: the LEBench suite (treated as one
+    application, the union of its tests) plus the four datacenter servers —
+    the five columns of Tables 8.1/8.2 and Figure 9.1. *)
+
+module Lebench = Pv_workloads.Lebench
+module Apps = Pv_workloads.Apps
+
+type w = {
+  name : string;
+  sequence : (int * int array) list;  (** one profiling pass *)
+  repetitions : int;  (** profiling passes for dynamic ISVs *)
+}
+
+let lebench =
+  {
+    name = "LEBench";
+    sequence =
+      List.concat_map (fun t -> t.Lebench.sequence) Lebench.tests
+      @ List.map
+          (fun n -> (n, [||]))
+          [
+            Pv_kernel.Sysno.sys_open; Pv_kernel.Sysno.sys_close;
+            Pv_kernel.Sysno.sys_stat; Pv_kernel.Sysno.sys_futex;
+            Pv_kernel.Sysno.sys_nanosleep;
+          ];
+    repetitions = 40;
+  }
+
+let of_app (app : Apps.app) =
+  {
+    name = app.Apps.name;
+    sequence = app.Apps.request @ List.map (fun nr -> (nr, [||])) app.Apps.background;
+    repetitions = 40;
+  }
+
+let all = lebench :: List.map of_app Apps.all
+
+let syscalls w = Pv_workloads.Driver.syscalls_of w.sequence

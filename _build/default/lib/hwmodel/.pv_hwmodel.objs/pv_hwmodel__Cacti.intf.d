@@ -1,0 +1,1 @@
+lib/hwmodel/cacti.mli:

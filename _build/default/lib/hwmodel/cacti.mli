@@ -1,0 +1,32 @@
+(** Analytical SRAM characterization (the CACTI 7 substitute, Table 9.1).
+
+    A compact area/time/energy/leakage model for small tagged SRAM
+    structures, calibrated at the 22 nm node against the CACTI 7 numbers the
+    paper reports for Perspective's 128-entry view caches.  The functional
+    forms (area linear in bits, access time in sqrt(bits), energy in bits
+    read per access, leakage linear in bits) are the standard first-order
+    CACTI scaling laws, so nearby configurations extrapolate sensibly for
+    the sensitivity study. *)
+
+type sram_config = {
+  entries : int;
+  bits_per_entry : int;  (** tag + payload *)
+  ways : int;
+}
+
+val dsv_cache_config : sram_config
+(** 128 entries, 4 ways, 53 bits/entry (Table 7.1). *)
+
+val isv_cache_config : sram_config
+(** 128 entries, 4 ways, 57 bits/entry. *)
+
+type characterization = {
+  area_mm2 : float;
+  access_ps : float;
+  dyn_energy_pj : float;
+  leak_power_mw : float;
+}
+
+val characterize : ?node_nm:int -> sram_config -> characterization
+(** Only 22 nm is calibrated; other nodes scale area by (nm/22)^2 and energy
+    linearly, a coarse but standard technology projection. *)

@@ -1,0 +1,1 @@
+lib/isa/iss.ml: Array Insn Layout List Mem Printf Program

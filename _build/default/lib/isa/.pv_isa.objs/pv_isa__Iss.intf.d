@@ -1,0 +1,1 @@
+lib/isa/iss.mli: Insn Mem Program

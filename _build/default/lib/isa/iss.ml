@@ -1,0 +1,123 @@
+type trap_action =
+  | Redirect of int * (Insn.reg * int) list
+  | Skip
+  | Stop
+
+type hooks = {
+  on_syscall : int array -> trap_action;
+  on_sysret : int array -> trap_action;
+  on_insn : (int -> int -> Insn.t -> unit) option;
+}
+
+let null_hooks =
+  { on_syscall = (fun _ -> Skip); on_sysret = (fun _ -> Skip); on_insn = None }
+
+type outcome = Halted | Out_of_fuel | Fault of string
+
+type result = { outcome : outcome; steps : int; regs : int array }
+
+let max_call_depth = 1024
+
+let run ?(fuel = 1_000_000) ?regs ?(hooks = null_hooks) ~asid ~mem prog ~start =
+  let regs = match regs with Some r -> Array.copy r | None -> Array.make Insn.num_regs 0 in
+  let saved_user_regs = ref None in
+  let stack = ref [] in
+  let depth = ref 0 in
+  let fid = ref start in
+  let idx = ref 0 in
+  let steps = ref 0 in
+  let finish outcome = { outcome; steps = !steps; regs } in
+  let exception Done of result in
+  let fault msg = raise (Done (finish (Fault msg))) in
+  let trap action =
+    match action with
+    | Skip -> incr idx
+    | Stop -> raise (Done (finish Halted))
+    | Redirect (f, assigns) ->
+      saved_user_regs := Some (Array.copy regs);
+      List.iter (fun (r, v) -> regs.(r) <- v) assigns;
+      (* The kernel entry returns to the instruction after the trap. *)
+      if !depth >= max_call_depth then fault "call stack overflow";
+      stack := (!fid, !idx + 1) :: !stack;
+      incr depth;
+      fid := f;
+      idx := 0
+  in
+  try
+    while !steps < fuel do
+      (match Program.fetch prog !fid !idx with
+      | None -> fault (Printf.sprintf "fell off function f%d at %d" !fid !idx)
+      | Some insn ->
+        (match hooks.on_insn with Some f -> f !fid !idx insn | None -> ());
+        incr steps;
+        (match insn with
+        | Insn.Nop | Insn.Fence | Insn.Flush _ -> incr idx
+        | Insn.Limm (rd, v) ->
+          regs.(rd) <- v;
+          incr idx
+        | Insn.Alu (op, rd, r1, r2) ->
+          regs.(rd) <- Insn.eval_binop op regs.(r1) regs.(r2);
+          incr idx
+        | Insn.Alui (op, rd, r1, v) ->
+          regs.(rd) <- Insn.eval_binop op regs.(r1) v;
+          incr idx
+        | Insn.Load (rd, ra, off) ->
+          regs.(rd) <- Mem.load mem (Layout.phys_key ~asid (regs.(ra) + off));
+          incr idx
+        | Insn.Store (ra, rv, off) ->
+          Mem.store mem (Layout.phys_key ~asid (regs.(ra) + off)) regs.(rv);
+          incr idx
+        | Insn.Branch (c, r1, r2, tgt) ->
+          if Insn.eval_cond c regs.(r1) regs.(r2) then idx := tgt else incr idx
+        | Insn.Jump tgt -> idx := tgt
+        | Insn.Call callee ->
+          if !depth >= max_call_depth then fault "call stack overflow";
+          stack := (!fid, !idx + 1) :: !stack;
+          incr depth;
+          fid := callee;
+          idx := 0
+        | Insn.Icall r -> (
+          match Layout.decode_code_va regs.(r) with
+          | None -> fault (Printf.sprintf "icall to non-code VA %#x" regs.(r))
+          | Some (space, f, i) ->
+            let nfuncs = Program.length prog in
+            if f < 0 || f >= nfuncs || (Program.func prog f).Program.space <> space then
+              fault (Printf.sprintf "icall to unmapped function f%d" f)
+            else begin
+              if !depth >= max_call_depth then fault "call stack overflow";
+              stack := (!fid, !idx + 1) :: !stack;
+              incr depth;
+              fid := f;
+              idx := i
+            end)
+        | Insn.Ret -> (
+          match !stack with
+          | [] -> fault "ret with empty stack"
+          | (rf, ri) :: rest ->
+            stack := rest;
+            decr depth;
+            fid := rf;
+            idx := ri)
+        | Insn.Syscall -> trap (hooks.on_syscall regs)
+        | Insn.Sysret -> (
+          (match !saved_user_regs with
+          | Some saved ->
+            Array.blit saved 0 regs 0 (Array.length saved);
+            saved_user_regs := None
+          | None -> ());
+          match hooks.on_sysret regs with
+          | Skip | Redirect _ -> (
+            (* Default Sysret semantics: return like Ret (the syscall pushed a
+               frame); Redirect is not meaningful here and treated as return. *)
+            match !stack with
+            | [] -> fault "sysret with empty stack"
+            | (rf, ri) :: rest ->
+              stack := rest;
+              decr depth;
+              fid := rf;
+              idx := ri)
+          | Stop -> raise (Done (finish Halted)))
+        | Insn.Halt -> raise (Done (finish Halted))))
+    done;
+    finish Out_of_fuel
+  with Done r -> r

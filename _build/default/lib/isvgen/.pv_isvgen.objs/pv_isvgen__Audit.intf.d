@@ -1,0 +1,1 @@
+lib/isvgen/audit.mli: Perspective

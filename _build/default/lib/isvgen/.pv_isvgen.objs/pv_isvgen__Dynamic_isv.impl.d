@@ -1,0 +1,1 @@
+lib/isvgen/dynamic_isv.ml: List Perspective Pv_kernel

@@ -1,0 +1,1 @@
+lib/isvgen/static_isv.ml: List Perspective Pv_kernel

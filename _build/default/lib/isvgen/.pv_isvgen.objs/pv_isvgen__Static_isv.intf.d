@@ -1,0 +1,1 @@
+lib/isvgen/static_isv.mli: Perspective Pv_kernel Pv_util

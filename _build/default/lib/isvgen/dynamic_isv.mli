@@ -1,0 +1,20 @@
+(** Dynamic ISV generation from kernel traces (paper §5.3 "Dynamic ISVs").
+
+    The traced function set of a context becomes its ISV: smaller than the
+    static view (unused code paths drop out) yet able to include functions
+    reachable only through indirect calls, which static analysis must
+    exclude. *)
+
+val profile :
+  Pv_kernel.Kernel.t ->
+  Pv_kernel.Process.t ->
+  workload:(int * int array) list ->
+  repetitions:int ->
+  unit
+(** Exercise the process with a syscall workload ((nr, args) list), feeding
+    the kernel's tracing subsystem. *)
+
+val node_set : Pv_kernel.Kernel.t -> ctx:int -> Pv_util.Bitset.t
+(** Traced kernel functions of a context. *)
+
+val generate : Pv_kernel.Kernel.t -> ctx:int -> Perspective.Isv.t

@@ -1,0 +1,15 @@
+(** Static ISV generation (paper §5.3 "Static ISVs", §6.1).
+
+    The radare2 substitute: given the set of system calls an application
+    binary can make, compute the kernel functions reachable over direct call
+    edges.  Functions reachable only through indirect jumps cannot be
+    resolved statically and are excluded — exactly the imprecision the paper
+    attributes to static ISVs. *)
+
+val node_set :
+  Pv_kernel.Callgraph.t -> syscalls:int list -> Pv_util.Bitset.t
+(** Entry nodes of [syscalls] plus their direct-edge closure. *)
+
+val generate :
+  Pv_kernel.Callgraph.t -> syscalls:int list -> Perspective.Isv.t
+(** [node_set] wrapped as an [ISV-S] view. *)

@@ -1,0 +1,1 @@
+lib/kernel/callgraph.ml: Array Hashtbl List Printf Pv_util Queue Sysno

@@ -1,0 +1,1 @@
+lib/kernel/callgraph.mli: Pv_util

@@ -1,0 +1,1 @@
+lib/kernel/codegen.ml: List Printf Pv_isa Pv_util

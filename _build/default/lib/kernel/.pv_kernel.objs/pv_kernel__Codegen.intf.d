@@ -1,0 +1,1 @@
+lib/kernel/codegen.mli: Pv_isa Pv_util

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Callgraph Cgroup Hashtbl List Physmem Process Pv_isa Pv_util Slab Sysno Trace

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Callgraph Cgroup Physmem Process Slab Trace

@@ -1,0 +1,1 @@
+lib/kernel/kimage.ml: Array Callgraph Codegen Hashtbl List Pv_isa Pv_util Queue Sysno

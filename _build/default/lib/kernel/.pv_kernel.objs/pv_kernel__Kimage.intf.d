@@ -1,0 +1,1 @@
+lib/kernel/kimage.mli: Callgraph Pv_isa

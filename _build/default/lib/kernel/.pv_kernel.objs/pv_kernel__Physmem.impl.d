@@ -1,0 +1,1 @@
+lib/kernel/physmem.ml: Array Format Hashtbl Printf Pv_isa

@@ -1,0 +1,1 @@
+lib/kernel/physmem.mli: Format

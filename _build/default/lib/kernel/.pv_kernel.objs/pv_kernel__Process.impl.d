@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Array Hashtbl List Pv_isa

@@ -1,0 +1,1 @@
+lib/kernel/slab.ml: Array Hashtbl List Physmem Pv_isa Seq

@@ -1,0 +1,1 @@
+lib/kernel/slab.mli: Physmem

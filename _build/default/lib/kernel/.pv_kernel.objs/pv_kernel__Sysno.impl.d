@@ -1,0 +1,1 @@
+lib/kernel/sysno.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Array Callgraph Hashtbl List Pv_util Sysno

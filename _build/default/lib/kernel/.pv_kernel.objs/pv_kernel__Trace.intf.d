@@ -1,0 +1,1 @@
+lib/kernel/trace.mli: Callgraph Pv_util

@@ -1,0 +1,229 @@
+module Rng = Pv_util.Rng
+module Bitset = Pv_util.Bitset
+
+type config = {
+  nodes : int;
+  shared_core : int;
+  indirect_pool : int;
+  core_fanout : int;
+  entry_core_calls : int;
+  cross_call_prob : float;
+  icall_site_prob : float;
+  icall_targets : int;
+  cold_prob : float;
+}
+
+let default_config =
+  {
+    nodes = 28_000;
+    shared_core = 1_200;
+    indirect_pool = 2_600;
+    core_fanout = 3;
+    entry_core_calls = 3;
+    cross_call_prob = 0.30;
+    icall_site_prob = 0.06;
+    icall_targets = 6;
+    cold_prob = 0.15;
+  }
+
+type t = {
+  cfg : config;
+  names : string array;
+  direct : int list array;
+  indirect : int list array;
+  entries : int array; (* syscall nr -> node *)
+  cold : bool array;
+  depths : int array;
+  ind_only : bool array;
+}
+
+let nnodes t = Array.length t.names
+let node_name t n = t.names.(n)
+let entry_of_syscall t nr = t.entries.(nr)
+
+let syscall_of_entry t node =
+  let rec go i =
+    if i = Array.length t.entries then None
+    else if t.entries.(i) = node then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let direct_callees t n = t.direct.(n)
+let indirect_targets t n = t.indirect.(n)
+let is_cold t n = t.cold.(n)
+let depth t n = t.depths.(n)
+let indirect_only t n = t.ind_only.(n)
+
+(* Region boundaries inside the node id space:
+   [0, nsys)                          syscall entries
+   [nsys, nsys+core)                  shared core (layered)
+   [nsys+core, nsys+core+ipool)       indirect pool
+   [rest]                             per-syscall private subtrees *)
+
+let synthesize ?(config = default_config) seed =
+  let cfg = config in
+  let rng = Rng.create seed in
+  let nsys = Sysno.count in
+  let n = cfg.nodes in
+  if n < nsys + cfg.shared_core + cfg.indirect_pool + nsys then
+    invalid_arg "Callgraph.synthesize: too few nodes";
+  let core_lo = nsys in
+  let core_hi = nsys + cfg.shared_core in
+  let ipool_lo = core_hi in
+  let ipool_hi = core_hi + cfg.indirect_pool in
+  let priv_lo = ipool_hi in
+  let direct = Array.make n [] in
+  let indirect = Array.make n [] in
+  let names =
+    Array.init n (fun i ->
+        if i < nsys then "sys_" ^ Sysno.name i
+        else if i < core_hi then Printf.sprintf "core_%04d" (i - core_lo)
+        else if i < ipool_hi then Printf.sprintf "ops_%04d" (i - ipool_lo)
+        else Printf.sprintf "helper_%05d" (i - priv_lo))
+  in
+  let add_edge src dst = if src <> dst then direct.(src) <- dst :: direct.(src) in
+  (* Shared core: 4 layers, calls flow to strictly deeper layers so the core
+     is acyclic and entries reach a cone rather than the whole core. *)
+  let layers = 4 in
+  let layer_of i = (i - core_lo) * layers / cfg.shared_core in
+  for i = core_lo to core_hi - 1 do
+    let l = layer_of i in
+    if l < layers - 1 then begin
+      let fanout = Rng.int rng (cfg.core_fanout + 1) in
+      for _ = 1 to fanout do
+        (* A callee in a strictly deeper layer. *)
+        let dl = l + 1 + Rng.int rng (layers - l - 1) in
+        let lo = core_lo + (dl * cfg.shared_core / layers) in
+        let hi = core_lo + (((dl + 1) * cfg.shared_core / layers) - 1) in
+        if hi >= lo then add_edge i (Rng.in_range rng lo hi)
+      done
+    end
+  done;
+  (* Indirect pool nodes may call a couple of deep-core helpers. *)
+  for i = ipool_lo to ipool_hi - 1 do
+    let calls = Rng.int rng 3 in
+    for _ = 1 to calls do
+      let lo = core_lo + (cfg.shared_core / 2) in
+      add_edge i (Rng.in_range rng lo (core_hi - 1))
+    done
+  done;
+  (* Per-syscall private subtrees over an equal partition of the remaining
+     nodes; each private node's parent is an earlier node of the same chunk
+     (or the entry), giving a random recursive tree. *)
+  let priv_total = n - priv_lo in
+  let chunk = priv_total / nsys in
+  for s = 0 to nsys - 1 do
+    let lo = priv_lo + (s * chunk) in
+    let hi = if s = nsys - 1 then n - 1 else lo + chunk - 1 in
+    for i = lo to hi do
+      let parent = if i = lo || Rng.chance rng 0.15 then s else Rng.in_range rng lo (i - 1) in
+      add_edge parent i
+    done;
+    (* The entry also calls a few core roots (layer 0). *)
+    let core_layer0_hi = core_lo + (cfg.shared_core / layers) - 1 in
+    for _ = 1 to cfg.entry_core_calls do
+      add_edge s (Rng.in_range rng core_lo core_layer0_hi)
+    done
+  done;
+  (* Cross calls from private nodes into the core, and indirect dispatch
+     sites on private and core nodes targeting the indirect pool. *)
+  for i = core_lo to n - 1 do
+    let private_node = i >= priv_lo in
+    if private_node && Rng.chance rng cfg.cross_call_prob then
+      add_edge i (Rng.in_range rng core_lo (core_hi - 1));
+    if (private_node || (i >= core_lo && i < core_hi)) && Rng.chance rng cfg.icall_site_prob
+    then begin
+      let k = 2 + Rng.int rng (max 1 (cfg.icall_targets - 1)) in
+      let targets = ref [] in
+      for _ = 1 to k do
+        targets := Rng.in_range rng ipool_lo (ipool_hi - 1) :: !targets
+      done;
+      indirect.(i) <- List.sort_uniq compare !targets
+    end
+  done;
+  (* Cold labelling: entries are always hot. *)
+  let cold = Array.init n (fun i -> i >= nsys && Rng.chance rng cfg.cold_prob) in
+  (* Depths: BFS over direct edges from all entries. *)
+  let depths = Array.make n max_int in
+  let q = Queue.create () in
+  for s = 0 to nsys - 1 do
+    depths.(s) <- 0;
+    Queue.add s q
+  done;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if depths.(v) = max_int then begin
+          depths.(v) <- depths.(u) + 1;
+          Queue.add v q
+        end)
+      direct.(u)
+  done;
+  let ind_only = Array.init n (fun i -> depths.(i) = max_int) in
+  { cfg; names; direct; indirect; entries = Array.init nsys (fun s -> s); cold; depths; ind_only }
+
+let closure t ~follow_indirect entries =
+  let seen = Bitset.create (nnodes t) in
+  let q = Queue.create () in
+  let push v =
+    if not (Bitset.mem seen v) then begin
+      Bitset.set seen v;
+      Queue.add v q
+    end
+  in
+  List.iter push entries;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter push t.direct.(u);
+    if follow_indirect then List.iter push t.indirect.(u)
+  done;
+  seen
+
+let static_reachable t entries = closure t ~follow_indirect:false entries
+
+let reachable_with_indirect t entries = closure t ~follow_indirect:true entries
+
+let sample_trace t rng ~syscall ~installed =
+  let entry = entry_of_syscall t syscall in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec walk u =
+    if not (Hashtbl.mem seen u) then begin
+      Hashtbl.replace seen u ();
+      acc := u :: !acc;
+      List.iter
+        (fun v ->
+          (* Cold paths are rarely exercised by real workloads. *)
+          let p = if t.cold.(v) then 0.002 else 0.92 in
+          if Rng.chance rng p then walk v)
+        t.direct.(u);
+      match installed u with
+      | Some target when List.mem target t.indirect.(u) -> walk target
+      | Some _ | None -> ()
+    end
+  in
+  walk entry;
+  List.rev !acc
+
+let region t node =
+  let nsys = Array.length t.entries in
+  if node < nsys then `Entry
+  else if node < nsys + t.cfg.shared_core then `Core
+  else if node < nsys + t.cfg.shared_core + t.cfg.indirect_pool then `Ipool
+  else `Private
+
+let indirect_pool_bounds t =
+  let nsys = Array.length t.entries in
+  let lo = nsys + t.cfg.shared_core in
+  (lo, lo + t.cfg.indirect_pool)
+
+let default_installed t ~app_seed site =
+  match t.indirect.(site) with
+  | [] -> None
+  | targets ->
+    (* Deterministic per-app pick: which concrete ops table the app's file
+       descriptors use at this dispatch site. *)
+    let h = Rng.create (app_seed lxor (site * 2654435761)) in
+    Some (List.nth targets (Rng.int h (List.length targets)))

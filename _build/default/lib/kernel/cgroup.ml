@@ -1,0 +1,16 @@
+type t = { mutable names : string list (* reversed, id = position + 1 *) }
+
+let create () = { names = [] }
+
+let add t name =
+  t.names <- name :: t.names;
+  List.length t.names
+
+let name t id =
+  let n = List.length t.names in
+  if id < 1 || id > n then raise Not_found;
+  List.nth t.names (n - id)
+
+let count t = List.length t.names
+
+let ids t = List.init (List.length t.names) (fun i -> i + 1)

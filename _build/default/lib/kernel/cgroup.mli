@@ -1,0 +1,17 @@
+(** Control groups: the resource-tracking contexts Perspective associates
+    DSVs with (paper §6.1).  Each container/workload runs in its own cgroup;
+    kernel threads get distinct ids for improved isolation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> int
+(** Register a cgroup, returning its id (dense from 1; id 0 is reserved for
+    the root/kernel context). *)
+
+val name : t -> int -> string
+(** Raises [Not_found] for unregistered ids. *)
+
+val count : t -> int
+val ids : t -> int list

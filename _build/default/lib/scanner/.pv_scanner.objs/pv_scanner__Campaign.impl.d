@@ -1,0 +1,1 @@
+lib/scanner/campaign.ml: Gadgets Hashtbl List Option Pv_kernel Pv_util

@@ -1,0 +1,1 @@
+lib/scanner/campaign.mli: Gadgets Pv_kernel Pv_util

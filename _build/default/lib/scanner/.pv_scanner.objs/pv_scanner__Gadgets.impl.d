@@ -1,0 +1,1 @@
+lib/scanner/gadgets.ml: Array Hashtbl List Pv_kernel Pv_util

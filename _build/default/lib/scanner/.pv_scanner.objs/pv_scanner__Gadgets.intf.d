@@ -1,0 +1,1 @@
+lib/scanner/gadgets.mli: Pv_kernel Pv_util

@@ -1,0 +1,66 @@
+module Callgraph = Pv_kernel.Callgraph
+module Rng = Pv_util.Rng
+module Bitset = Pv_util.Bitset
+
+type result = {
+  space : int;
+  examined : int;
+  hours : float;
+  found : int;
+  rate : float;
+  timeline : (float * int) list;
+}
+
+let run graph gadget_db ?scope ?(funcs_per_hour = 600) ~seed () =
+  if funcs_per_hour <= 0 then invalid_arg "Campaign.run: non-positive throughput";
+  let rng = Rng.create (seed lxor 0x6B617370) in
+  let n = Callgraph.nnodes graph in
+  let in_space node = match scope with None -> true | Some s -> Bitset.mem s node in
+  let space_nodes =
+    List.filter in_space (List.init n (fun i -> i))
+  in
+  (* Fuzzing reaches shallow, hot code first; deep cold code takes long to
+     drag coverage into.  Exploration order = sort by depth + noise. *)
+  let keyed =
+    List.map
+      (fun node ->
+        let d = Callgraph.depth graph node in
+        let d = if d = max_int then 8 else d in
+        let cold_penalty = if Callgraph.is_cold graph node then 2.5 else 0.0 in
+        (float_of_int d +. cold_penalty +. Rng.float rng 3.0, node))
+      space_nodes
+  in
+  let order = List.map snd (List.sort compare keyed) in
+  (* A function may host several gadgets (of different kinds); discovering
+     the function discovers them all. *)
+  let gadgets_at = Hashtbl.create 512 in
+  List.iter
+    (fun g ->
+      let n = g.Gadgets.node in
+      Hashtbl.replace gadgets_at n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt gadgets_at n)))
+    (Gadgets.gadgets gadget_db);
+  let found = ref 0 in
+  let examined = ref 0 in
+  let timeline = ref [] in
+  List.iter
+    (fun node ->
+      incr examined;
+      match Hashtbl.find_opt gadgets_at node with
+      | Some k ->
+        found := !found + k;
+        timeline :=
+          (float_of_int !examined /. float_of_int funcs_per_hour, !found) :: !timeline
+      | None -> ())
+    order;
+  let hours = float_of_int !examined /. float_of_int funcs_per_hour in
+  {
+    space = List.length space_nodes;
+    examined = !examined;
+    hours;
+    found = !found;
+    rate = (if hours > 0.0 then float_of_int !found /. hours else 0.0);
+    timeline = List.rev !timeline;
+  }
+
+let speedup ~bounded ~full = if full.rate = 0.0 then 0.0 else bounded.rate /. full.rate

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Hashtbl List Perspective Pv_isa Pv_isvgen Pv_kernel Pv_uarch Pv_util

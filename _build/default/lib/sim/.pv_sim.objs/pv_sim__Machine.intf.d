@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Perspective Pv_isa Pv_kernel Pv_uarch

@@ -1,0 +1,89 @@
+(** The full-system machine: one OOO core ({!Pv_uarch.Pipeline}), the
+    synthetic kernel ({!Pv_kernel.Kernel} + {!Pv_kernel.Kimage}), and an
+    installed defense ({!Perspective.Defense}).
+
+    Lifecycle:
+    + {!create} with the set of system calls to realize in the kernel image;
+    + {!add_process} for each workload (user ISA code is supplied as a
+      function of the allocated base fid);
+    + {!freeze} to build the program, memory system and pipeline;
+    + optionally {!profile} workloads functionally (feeds dynamic ISVs);
+    + {!install_defense};
+    + {!run} user entry points on the pipeline.
+
+    Microarchitectural state persists across runs; {!run} returns the
+    per-run counter delta alongside the pipeline result. *)
+
+type t
+
+type handle
+(** A spawned process together with its user code. *)
+
+val create :
+  ?kernel_config:Pv_kernel.Kernel.config ->
+  ?pipe_config:Pv_uarch.Pipeline.config ->
+  ?mem_config:Pv_uarch.Memsys.config ->
+  seed:int ->
+  syscalls:int list ->
+  unit ->
+  t
+
+val kernel : t -> Pv_kernel.Kernel.t
+val kimage : t -> Pv_kernel.Kimage.t
+
+val add_process :
+  t ->
+  name:string ->
+  user_funcs:(base_fid:int -> Pv_isa.Program.func list) ->
+  entry:int ->
+  handle
+(** [entry] is the index (within the returned list) of the run entry
+    function.  Must be called before {!freeze}. *)
+
+val process : handle -> Pv_kernel.Process.t
+val entry_fid : handle -> int
+val user_base_fid : handle -> int
+
+val freeze : t -> unit
+(** Build the program and pipeline; seeds per-process dispatch tables and
+    working-set memory.  Raises if called twice or before any process. *)
+
+val program : t -> Pv_isa.Program.t
+val pipeline : t -> Pv_uarch.Pipeline.t
+val memsys : t -> Pv_uarch.Memsys.t
+val mem : t -> Pv_isa.Mem.t
+
+val profile :
+  t -> handle -> workload:(int * int array) list -> repetitions:int -> unit
+(** Functional-only workload execution feeding the tracing subsystem
+    (dynamic ISV profiles), including dispatch-target accounting. *)
+
+val install_defense :
+  t ->
+  ?gadget_nodes:int list ->
+  ?block_unknown:bool ->
+  ?isv_cache_entries:int ->
+  ?dsv_cache_entries:int ->
+  Perspective.Defense.scheme ->
+  unit
+(** Build views for every process from its traced (or realized) syscall set
+    and install the scheme's guard on the pipeline.  [gadget_nodes] feeds
+    ISV++ hardening. *)
+
+val defense : t -> Perspective.Defense.t option
+val view_manager : t -> Perspective.View_manager.t
+
+val run :
+  ?fuel:int ->
+  ?regs:int array ->
+  t ->
+  handle ->
+  Pv_uarch.Pipeline.result * Pv_uarch.Pipeline.counters
+(** Execute the process's user entry until [Halt]; returns the result and
+    this run's counter delta. *)
+
+val seed_frame : t -> int -> unit
+(** Idempotently fill a frame with pointer-chase-friendly values. *)
+
+val table_va : t -> handle -> int -> int option
+(** VA of the process's dispatch table for a realized syscall (r13). *)

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Array Btb Cache Guard List Memsys Printf Pv_isa Ras Tage

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.mli: Btb Guard Memsys Pv_isa Ras

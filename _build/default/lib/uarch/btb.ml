@@ -1,0 +1,67 @@
+type entry = { mutable tag : int; mutable target : int; mutable valid : bool; mutable lru : int }
+
+type t = {
+  nsets : int;
+  nways : int;
+  sets : entry array array;
+  mutable tick : int;
+}
+
+let tag_bits = 12
+
+let create ?(entries = 4096) ?(ways = 4) () =
+  if entries mod ways <> 0 then invalid_arg "Btb.create: entries not divisible by ways";
+  let nsets = entries / ways in
+  {
+    nsets;
+    nways = ways;
+    sets =
+      Array.init nsets (fun _ ->
+          Array.init ways (fun _ -> { tag = 0; target = 0; valid = false; lru = 0 }));
+    tick = 0;
+  }
+
+let index_of t pc = (pc lsr 2) mod t.nsets
+
+let tag_of t pc = ((pc lsr 2) / t.nsets) land ((1 lsl tag_bits) - 1)
+
+let aliases t pc1 pc2 = index_of t pc1 = index_of t pc2 && tag_of t pc1 = tag_of t pc2
+
+let lookup t pc =
+  let set = t.sets.(index_of t pc) in
+  let tag = tag_of t pc in
+  let n = Array.length set in
+  let rec go i =
+    if i = n then None
+    else if set.(i).valid && set.(i).tag = tag then begin
+      t.tick <- t.tick + 1;
+      set.(i).lru <- t.tick;
+      Some set.(i).target
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let update t pc target =
+  let set = t.sets.(index_of t pc) in
+  let tag = tag_of t pc in
+  let existing = Array.to_seq set |> Seq.find (fun e -> e.valid && e.tag = tag) in
+  let e =
+    match existing with
+    | Some e -> e
+    | None ->
+      let best = ref set.(0) in
+      Array.iter
+        (fun w ->
+          if not w.valid then best := w
+          else if !best.valid && w.lru < !best.lru then best := w)
+        set;
+      !best
+  in
+  t.tick <- t.tick + 1;
+  e.tag <- tag;
+  e.target <- target;
+  e.valid <- true;
+  e.lru <- t.tick
+
+let flush t = Array.iter (fun set -> Array.iter (fun e -> e.valid <- false) set) t.sets

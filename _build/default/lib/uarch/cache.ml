@@ -1,0 +1,122 @@
+type way = { mutable tag : int; mutable valid : bool; mutable lru : int }
+
+type t = {
+  name : string;
+  line_bytes : int;
+  nsets : int;
+  nways : int;
+  latency : int;
+  sets : way array array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~size_bytes ~line_bytes ~ways ~latency =
+  if size_bytes <= 0 || line_bytes <= 0 || ways <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  let lines = size_bytes / line_bytes in
+  if lines mod ways <> 0 || lines = 0 then
+    invalid_arg "Cache.create: geometry does not divide";
+  let nsets = lines / ways in
+  {
+    name;
+    line_bytes;
+    nsets;
+    nways = ways;
+    latency;
+    sets =
+      Array.init nsets (fun _ ->
+          Array.init ways (fun _ -> { tag = 0; valid = false; lru = 0 }));
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let name t = t.name
+let latency t = t.latency
+let sets t = t.nsets
+let ways t = t.nways
+
+let locate t addr =
+  let line = addr / t.line_bytes in
+  let set = line mod t.nsets in
+  let tag = line / t.nsets in
+  (t.sets.(set), tag)
+
+let find set tag =
+  let n = Array.length set in
+  let rec go i =
+    if i = n then None
+    else if set.(i).valid && set.(i).tag = tag then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let victim set =
+  let best = ref set.(0) in
+  Array.iter
+    (fun w ->
+      if not w.valid then best := w
+      else if !best.valid && w.lru < !best.lru then best := w)
+    set;
+  !best
+
+let bump t w =
+  t.tick <- t.tick + 1;
+  w.lru <- t.tick
+
+let fill t set tag =
+  let w = victim set in
+  w.tag <- tag;
+  w.valid <- true;
+  bump t w
+
+let access t addr =
+  let set, tag = locate t addr in
+  match find set tag with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    bump t w;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    fill t set tag;
+    false
+
+let access_no_lru t addr =
+  let set, tag = locate t addr in
+  match find set tag with
+  | Some _ ->
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    fill t set tag;
+    false
+
+let touch t addr =
+  let set, tag = locate t addr in
+  match find set tag with Some w -> bump t w | None -> ()
+
+let probe t addr =
+  let set, tag = locate t addr in
+  match find set tag with Some _ -> true | None -> false
+
+let flush_line t addr =
+  let set, tag = locate t addr in
+  match find set tag with Some w -> w.valid <- false | None -> ()
+
+let flush_all t =
+  Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.sets
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,22 @@
+type query = {
+  insn_va : int;
+  fid : int;
+  addr : int;
+  asid : int;
+  kernel_mode : bool;
+  speculative : bool;
+  l1_hit : bool;
+  tainted : bool;
+}
+
+type source = Isv | Dsv | Baseline
+
+type decision = Allow | Block of source
+
+type t = {
+  name : string;
+  check : query -> decision;
+  notify_vp : (insn_va:int -> addr:int -> asid:int -> kernel_mode:bool -> unit) option;
+}
+
+let allow_all = { name = "unsafe"; check = (fun _ -> Allow); notify_vp = None }

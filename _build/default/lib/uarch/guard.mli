@@ -1,0 +1,36 @@
+(** The pliable software/hardware interface of the pipeline.
+
+    Before a load issues speculatively, the pipeline consults the installed
+    guard; the guard decides whether the load may execute (and thus leave
+    microarchitectural side effects) or must be fenced until its Visibility
+    Point.  Every defense scheme in this repository — FENCE, DOM, STT and the
+    Perspective variants — is an implementation of this one interface. *)
+
+type query = {
+  insn_va : int;  (** VA of the load instruction *)
+  fid : int;  (** function id of the load instruction *)
+  addr : int;  (** effective (virtual) address being accessed *)
+  asid : int;  (** current address-space id *)
+  kernel_mode : bool;  (** CPU privilege mode (kernel execution covers transient wrong-path user code reached from kernel context) *)
+  speculative : bool;  (** does an older unresolved control-flow instruction exist? *)
+  l1_hit : bool;  (** would the access hit in the L1D right now? *)
+  tainted : bool;  (** do the address operands derive from a speculative load? *)
+}
+
+type source =
+  | Isv  (** fenced because the instruction is outside the ISV *)
+  | Dsv  (** fenced because the data is outside the DSV *)
+  | Baseline  (** fenced by a view-agnostic scheme (FENCE/DOM/STT) *)
+
+type decision = Allow | Block of source
+
+type t = {
+  name : string;
+  check : query -> decision;
+  notify_vp : (insn_va:int -> addr:int -> asid:int -> kernel_mode:bool -> unit) option;
+      (** Called once when a load reaches its Visibility Point; Perspective
+          uses it for the deferred LRU update of its view caches (§6.2). *)
+}
+
+val allow_all : t
+(** The UNSAFE configuration: never blocks anything. *)

@@ -1,0 +1,118 @@
+(** Cycle-level out-of-order speculative pipeline (the gem5 substitute).
+
+    Models the parts of an OOO core that matter for transient-execution
+    attacks and defenses:
+
+    - fetch along the predicted path (TAGE direction prediction, BTB for
+      indirect calls, RAS for returns, L1I timing);
+    - register renaming, a reorder buffer, load/store queues with
+      store-to-load forwarding, out-of-order issue, in-order commit;
+    - squash on branch/indirect/return misprediction with precise
+      architectural state recovery — but {e microarchitectural} state
+      (cache fills performed by transient loads, predictor updates) survives
+      the squash: that residue is the covert channel;
+    - a pluggable {!Guard} consulted before any load issues speculatively:
+      this is the hardware half of Perspective's pliable interface.  Blocked
+      loads wait for their Visibility Point (no older instruction can squash
+      them) and then issue non-speculatively, as in §6.2 of the paper.
+
+    Microarchitectural state (caches, predictors, counters) persists across
+    {!run} calls so that one process can mistrain structures that a later run
+    of another process consults. *)
+
+type config = {
+  fetch_width : int;
+  issue_width : int;
+  commit_width : int;
+  rob_entries : int;
+  lq_entries : int;
+  sq_entries : int;
+  btb_entries : int;
+  ras_entries : int;
+  branch_latency : int;
+      (** cycles from issue to resolution of branches and indirect calls —
+          the execute-depth that opens the speculation window *)
+  mispredict_penalty : int;  (** front-end refill cycles after a squash *)
+  retpoline : bool;
+      (** software Spectre-v2 spot mitigation: indirect calls bypass the BTB
+          and stall fetch until they resolve *)
+  kernel_entry_cycles : int;  (** user->kernel transition cost *)
+  kernel_exit_cycles : int;  (** kernel->user transition cost *)
+}
+
+val default_config : config
+(** Table 7.1: 8-issue, 192 ROB, 62 LQ, 32 SQ, 4096-entry BTB, 16-entry RAS. *)
+
+type counters = {
+  mutable cycles : int;
+  mutable kernel_cycles : int;
+  mutable committed : int;
+  mutable committed_kernel : int;
+  mutable committed_loads : int;
+  mutable committed_kernel_loads : int;
+  mutable syscalls : int;
+  mutable squashes : int;
+  mutable branch_mispredicts : int;
+  mutable spec_loads : int;  (** loads issued while speculative *)
+  mutable fences_isv : int;
+  mutable fences_dsv : int;
+  mutable fences_baseline : int;
+}
+
+val zero_counters : unit -> counters
+val add_counters : counters -> counters -> unit
+(** [add_counters acc c] accumulates [c] into [acc]. *)
+
+val diff_counters : counters -> counters -> counters
+(** [diff_counters after before]. *)
+
+val copy_counters : counters -> counters
+val total_fences : counters -> int
+
+type t
+
+val create : ?config:config -> Memsys.t -> Pv_isa.Program.t -> t
+val config : t -> config
+val memsys : t -> Memsys.t
+val btb : t -> Btb.t
+val ras : t -> Ras.t
+val counters : t -> counters
+(** Cumulative across runs; copy before/after a run and use
+    {!diff_counters} for per-run numbers. *)
+
+val set_guard : t -> Guard.t -> unit
+val guard : t -> Guard.t
+
+val ret_stack_va : asid:int -> depth:int -> int
+(** VA of the return-stack slot a [Ret] at call depth [depth] reads; flushing
+    this line widens the return's transient window (the Spectre-RSB lever). *)
+
+type hooks = {
+  on_syscall : int array -> Pv_isa.Iss.trap_action;
+  on_sysret : int array -> Pv_isa.Iss.trap_action;
+  on_commit : (int -> int -> Pv_isa.Insn.t -> unit) option;
+      (** [(fid, idx, insn)] for each committed instruction. *)
+}
+
+val null_hooks : hooks
+
+type outcome = Halted | Out_of_fuel | Fault of string
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  committed : int;
+  regs : int array;
+}
+
+val run :
+  ?fuel:int ->
+  ?regs:int array ->
+  ?hooks:hooks ->
+  t ->
+  asid:int ->
+  start:int ->
+  result
+(** Execute from instruction 0 of function [start] until a [Halt] commits, a
+    fault commits, a [Stop] trap action, or [fuel] cycles elapse (default
+    20_000_000). *)

@@ -1,0 +1,41 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percent_overhead ~baseline v = (v -. baseline) /. baseline *. 100.0
+
+let normalized ~baseline v = v /. baseline
+
+let ratio_pct ~num ~den =
+  if den = 0 then 0.0 else float_of_int num /. float_of_int den *. 100.0
+
+type counter = { mutable n : int; mutable sum : float }
+
+let counter () = { n = 0; sum = 0.0 }
+
+let add c x =
+  c.n <- c.n + 1;
+  c.sum <- c.sum +. x
+
+let count c = c.n
+let total c = c.sum
+let counter_mean c = if c.n = 0 then 0.0 else c.sum /. float_of_int c.n

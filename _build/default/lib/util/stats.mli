@@ -1,0 +1,31 @@
+(** Small statistics helpers used by the experiment harnesses. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] on empty input. *)
+
+val percent_overhead : baseline:float -> float -> float
+(** [percent_overhead ~baseline v] is [(v - baseline) / baseline * 100]. *)
+
+val normalized : baseline:float -> float -> float
+(** [normalized ~baseline v] is [v /. baseline]. *)
+
+val ratio_pct : num:int -> den:int -> float
+(** Percentage [num/den * 100]; 0 when [den = 0]. *)
+
+type counter
+(** Accumulates samples in streaming fashion. *)
+
+val counter : unit -> counter
+val add : counter -> float -> unit
+val count : counter -> int
+val total : counter -> float
+val counter_mean : counter -> float

@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Array List Pv_isa

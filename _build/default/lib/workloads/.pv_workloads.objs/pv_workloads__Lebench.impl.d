@@ -1,0 +1,1 @@
+lib/workloads/lebench.ml: Driver List Pv_kernel

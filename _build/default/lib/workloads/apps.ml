@@ -1,0 +1,102 @@
+module Sysno = Pv_kernel.Sysno
+
+type app = {
+  name : string;
+  request : (int * int array) list;
+  background : int list;
+  user_work : int;
+  requests : int;
+  paper_unsafe_krps : float;
+}
+
+let bg names = List.map (fun n -> match Sysno.lookup n with Some nr -> nr | None -> invalid_arg n) names
+
+let server_common =
+  bg
+    [
+      "socket"; "bind"; "listen"; "setsockopt"; "close"; "mmap"; "munmap"; "brk";
+      "mprotect"; "futex"; "getpid"; "clock_gettime"; "fcntl"; "ioctl"; "uname";
+      "getuid"; "access";
+    ]
+
+let httpd =
+  {
+    name = "httpd";
+    request =
+      [
+        (Sysno.sys_epoll_wait, [| 8 |]);
+        (Sysno.sys_accept, [||]);
+        (Sysno.sys_recv, [| 1024 |]);
+        (Sysno.sys_stat, [||]);
+        (Sysno.sys_open, [||]);
+        (Sysno.sys_read, [| 4096 |]);
+        (Sysno.sys_send, [| 4096 |]);
+        (Sysno.sys_close, [||]);
+      ];
+    background =
+      server_common @ bg [ "wait4"; "kill"; "pipe"; "dup"; "getdents"; "writev"; "lseek" ];
+    user_work = 700;
+    requests = 60;
+    paper_unsafe_krps = 11.5;
+  }
+
+let nginx =
+  {
+    name = "nginx";
+    request =
+      [
+        (Sysno.sys_epoll_wait, [| 8 |]);
+        (Sysno.sys_recv, [| 1024 |]);
+        (Sysno.sys_stat, [||]);
+        (Sysno.sys_open, [||]);
+        (Sysno.sys_sendfile, [| 4096 |]);
+        (Sysno.sys_send, [| 1024 |]);
+        (Sysno.sys_close, [||]);
+      ];
+    background = server_common @ bg [ "accept"; "writev"; "pread"; "getdents"; "dup"; "readlink" ];
+    user_work = 420;
+    requests = 80;
+    paper_unsafe_krps = 18.0;
+  }
+
+let memcached =
+  {
+    name = "memcached";
+    request =
+      [
+        (Sysno.sys_epoll_wait, [| 4 |]);
+        (Sysno.sys_recv, [| 512 |]);
+        (Sysno.sys_send, [| 512 |]);
+      ];
+    background = server_common @ bg [ "accept"; "getsockopt"; "nanosleep" ];
+    user_work = 230;
+    requests = 180;
+    paper_unsafe_krps = 55.0;
+  }
+
+let redis =
+  {
+    name = "redis";
+    request =
+      [
+        (Sysno.sys_epoll_wait, [| 4 |]);
+        (Sysno.sys_recv, [| 1024; 1 |]);
+        (Sysno.sys_send, [| 1024; 1 |]);
+      ];
+    background =
+      server_common @ bg [ "accept"; "open"; "read"; "write"; "rename"; "unlink"; "fstat" ];
+    user_work = 330;
+    requests = 150;
+    paper_unsafe_krps = 40.7;
+  }
+
+let all = [ httpd; nginx; memcached; redis ]
+
+let syscalls app = Driver.syscalls_of app.request
+
+let footprint app = List.sort_uniq compare (syscalls app @ app.background)
+
+let all_syscalls = List.sort_uniq compare (List.concat_map syscalls all)
+
+let scaled app ~factor =
+  { app with requests = max 2 (int_of_float (float_of_int app.requests *. factor)) }

@@ -1,0 +1,56 @@
+module I = Pv_isa.Insn
+module Asm = Pv_isa.Asm
+module Layout = Pv_isa.Layout
+module Program = Pv_isa.Program
+
+let build ~iterations ~sequence ~user_work ~base_fid =
+  let a = Asm.create () in
+  let outer = Asm.fresh_label a in
+  let outer_done = Asm.fresh_label a in
+  Asm.li a 6 0;
+  Asm.li a 7 iterations;
+  Asm.li a 14 0;
+  Asm.place a outer;
+  Asm.branch a I.Ge 6 7 outer_done;
+  (* User-mode compute: a small loop over the process's user buffer. *)
+  if user_work > 0 then begin
+    let inner = Asm.fresh_label a in
+    let inner_done = Asm.fresh_label a in
+    Asm.li a 4 0;
+    Asm.li a 5 user_work;
+    Asm.li a 9 Layout.user_data_base;
+    Asm.place a inner;
+    Asm.branch a I.Ge 4 5 inner_done;
+    Asm.alui a I.Mul 10 4 64;
+    Asm.alui a I.And 10 10 8128;
+    Asm.alu a I.Add 10 9 10;
+    Asm.load a 11 10 0;
+    Asm.alu a I.Add 12 12 11;
+    Asm.alui a I.Add 4 4 1;
+    Asm.jump a inner;
+    Asm.place a inner_done
+  end;
+  (* The system-call sequence. *)
+  List.iter
+    (fun (nr, args) ->
+      Asm.li a 0 nr;
+      let arg i = if i < Array.length args then args.(i) else 0 in
+      Asm.li a 1 (arg 0);
+      Asm.li a 2 (arg 1);
+      Asm.li a 3 (arg 2);
+      Asm.syscall a)
+    sequence;
+  Asm.alui a I.Add 6 6 1;
+  Asm.jump a outer;
+  Asm.place a outer_done;
+  Asm.halt a;
+  [
+    {
+      Program.fid = base_fid;
+      name = "driver";
+      space = Layout.User;
+      body = Asm.finish a;
+    };
+  ]
+
+let syscalls_of sequence = List.sort_uniq compare (List.map fst sequence)

@@ -1,0 +1,19 @@
+(** Userspace driver programs: a measurement loop that performs a fixed
+    system-call sequence per iteration, interleaved with user-mode compute.
+
+    The generated program is a single user function: per iteration it runs a
+    small user compute loop (ALU + loads over the process's user buffer) and
+    then issues each system call of the sequence with its arguments in
+    [r0..r3].  The loop ends with [Halt]. *)
+
+val build :
+  iterations:int ->
+  sequence:(int * int array) list ->
+  user_work:int ->
+  base_fid:int ->
+  Pv_isa.Program.func list
+(** [user_work] is the trip count of the per-iteration user compute loop
+    (about 5 instructions including one load per trip). *)
+
+val syscalls_of : (int * int array) list -> int list
+(** Distinct syscall numbers of a sequence. *)

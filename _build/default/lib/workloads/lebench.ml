@@ -1,0 +1,48 @@
+module Sysno = Pv_kernel.Sysno
+
+type test = {
+  name : string;
+  sequence : (int * int array) list;
+  iterations : int;
+  user_work : int;
+}
+
+let t name sequence iterations user_work = { name; sequence; iterations; user_work }
+
+let tests =
+  [
+    t "ref" [ (Sysno.sys_getpid, [||]) ] 200 4;
+    t "read" [ (Sysno.sys_read, [| 4096 |]) ] 60 6;
+    t "big-read" [ (Sysno.sys_read, [| 16384 |]) ] 20 6;
+    t "write" [ (Sysno.sys_write, [| 4096 |]) ] 60 6;
+    t "big-write" [ (Sysno.sys_write, [| 16384 |]) ] 20 6;
+    t "mmap" [ (Sysno.sys_mmap, [| 1 |]); (Sysno.sys_munmap, [||]) ] 40 4;
+    t "big-mmap" [ (Sysno.sys_mmap, [| 16 |]); (Sysno.sys_munmap, [||]) ] 15 4;
+    t "munmap" [ (Sysno.sys_mmap, [| 4 |]); (Sysno.sys_munmap, [||]) ] 30 4;
+    t "page-fault" [ (Sysno.sys_page_fault, [||]) ] 60 4;
+    t "big-page-fault"
+      (List.init 8 (fun _ -> (Sysno.sys_page_fault, [||])))
+      15 4;
+    t "fork" [ (Sysno.sys_fork, [| 4 |]) ] 30 4;
+    t "big-fork" [ (Sysno.sys_fork, [| 64 |]) ] 8 4;
+    t "thread-create" [ (Sysno.sys_thread_create, [| 2 |]) ] 30 4;
+    t "send" [ (Sysno.sys_send, [| 1024 |]) ] 60 6;
+    t "recv" [ (Sysno.sys_recv, [| 1024 |]) ] 60 6;
+    t "select" [ (Sysno.sys_select, [| 64 |]) ] 50 4;
+    t "poll" [ (Sysno.sys_poll, [| 64 |]) ] 50 4;
+    t "epoll" [ (Sysno.sys_epoll_wait, [| 64 |]) ] 50 4;
+    t "context-switch" [ (Sysno.sys_context_switch, [||]) ] 100 4;
+  ]
+
+let find name = List.find (fun x -> x.name = name) tests
+
+let syscalls test = Driver.syscalls_of test.sequence
+
+let all_syscalls =
+  List.sort_uniq compare (List.concat_map syscalls tests)
+
+let scaled test ~factor =
+  {
+    test with
+    iterations = max 2 (int_of_float (float_of_int test.iterations *. factor));
+  }

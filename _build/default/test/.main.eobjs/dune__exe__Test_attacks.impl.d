@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest List Perspective Printf Pv_attacks

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl List Option Perspective Pv_isa Pv_uarch Pv_util QCheck QCheck_alcotest

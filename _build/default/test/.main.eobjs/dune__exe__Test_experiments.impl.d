@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Printf Pv_experiments Pv_hwmodel Pv_util Pv_workloads String

@@ -1,0 +1,1 @@
+test/test_isvgen.ml: Alcotest List Perspective Pv_isvgen Pv_kernel Pv_util

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array List Option Printf Pv_isa Pv_kernel Pv_util Pv_workloads QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array List Perspective Printf Pv_isa Pv_uarch QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scanner.ml: Alcotest List Pv_kernel Pv_scanner Pv_util

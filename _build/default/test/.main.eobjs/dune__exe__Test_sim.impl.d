@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Perspective Printf Pv_isa Pv_kernel Pv_sim Pv_uarch Pv_util Pv_workloads

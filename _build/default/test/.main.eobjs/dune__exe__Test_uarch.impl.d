@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest List Printf Pv_isa Pv_uarch QCheck QCheck_alcotest

@@ -1,0 +1,188 @@
+(* Experiment-level sanity: reproduction metrics must land in (or near) the
+   paper's reported ranges, at reduced scale so the suite stays fast. *)
+
+module E = Pv_experiments
+module Isv_study = E.Isv_study
+module Perf = E.Perf
+module Schemes = E.Schemes
+module Security = E.Security
+module Sensitivity = E.Sensitivity
+module Cacti = Pv_hwmodel.Cacti
+module Lebench = Pv_workloads.Lebench
+
+let check = Alcotest.check
+
+let study = lazy (Isv_study.build ())
+
+let test_surface_ranges () =
+  let rows = Isv_study.surface_rows (Lazy.force study) in
+  check Alcotest.int "five workloads" 5 (List.length rows);
+  List.iter
+    (fun (r : Isv_study.surface_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ISV-S reduction %.1f in [87,95]" r.Isv_study.workload
+           r.Isv_study.isv_s_reduction)
+        true
+        (r.Isv_study.isv_s_reduction >= 87.0 && r.Isv_study.isv_s_reduction <= 95.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ISV reduction %.1f in [90,97]" r.Isv_study.workload
+           r.Isv_study.isv_reduction)
+        true
+        (r.Isv_study.isv_reduction >= 90.0 && r.Isv_study.isv_reduction <= 97.0);
+      Alcotest.(check bool) "dynamic smaller than static" true
+        (r.Isv_study.dynamic_size < r.Isv_study.static_size))
+    rows
+
+let test_gadget_ranges () =
+  List.iter
+    (fun (r : Isv_study.gadget_row) ->
+      let all3 (a, b, c) p = p a && p b && p c in
+      Alcotest.(check bool) "ISV-S blocks 75-95%" true
+        (all3 r.Isv_study.isv_s_pct (fun x -> x >= 75.0 && x <= 95.0));
+      Alcotest.(check bool) "ISV blocks 82-97%" true
+        (all3 r.Isv_study.isv_pct (fun x -> x >= 82.0 && x <= 97.0));
+      Alcotest.(check bool) "ISV++ blocks everything" true
+        (all3 r.Isv_study.plus_pct (fun x -> x = 100.0)))
+    (Isv_study.gadget_rows (Lazy.force study))
+
+let test_speedup_ranges () =
+  let rows = Isv_study.speedup_rows (Lazy.force study) in
+  List.iter
+    (fun (r : Isv_study.speedup_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s speedup %.2f in [1.1, 2.4]" r.Isv_study.workload
+           r.Isv_study.speedup)
+        true
+        (r.Isv_study.speedup >= 1.1 && r.Isv_study.speedup <= 2.4))
+    rows;
+  let avg = Isv_study.average_speedup rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "average %.2f near 1.57" avg)
+    true
+    (avg >= 1.3 && avg <= 1.9)
+
+let test_perf_select_ordering () =
+  let test = Lebench.find "select" in
+  let scale = 0.5 in
+  let unsafe = Perf.run_lebench ~scale Schemes.unsafe test in
+  let fence = Perf.run_lebench ~scale Schemes.fence test in
+  let persp = Perf.run_lebench ~scale Schemes.perspective test in
+  let dom = Perf.run_lebench ~scale Schemes.dom test in
+  let ov r = Perf.overhead_pct ~baseline:unsafe r in
+  Alcotest.(check bool)
+    (Printf.sprintf "FENCE heavy on select (%.0f%%)" (ov fence))
+    true
+    (ov fence > 100.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "DOM heavy on select (%.0f%%)" (ov dom))
+    true
+    (ov dom > 50.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "Perspective light on select (%.1f%%)" (ov persp))
+    true
+    (ov persp < 15.0)
+
+let test_perf_fence_accounting () =
+  let test = Lebench.find "poll" in
+  let run = Perf.run_lebench ~scale:0.5 Schemes.perspective test in
+  let isv_k, dsv_k = Perf.fences_per_kiloinstr run in
+  Alcotest.(check bool) "DSV fences dominate" true (dsv_k > isv_k);
+  Alcotest.(check bool) "some fencing happens" true (dsv_k > 0.5)
+
+let test_perf_throughput_normalization () =
+  let app = Pv_workloads.Apps.memcached in
+  let unsafe = Perf.run_app ~scale:0.3 Schemes.unsafe app in
+  let fence = Perf.run_app ~scale:0.3 Schemes.fence app in
+  let nt = Perf.normalized_throughput ~baseline:unsafe fence in
+  Alcotest.(check bool)
+    (Printf.sprintf "fence throughput below baseline (%.2f)" nt)
+    true (nt < 1.0 && nt > 0.5);
+  Alcotest.(check bool) "kernel fraction sane" true
+    (unsafe.Perf.kernel_cycle_fraction > 0.3 && unsafe.Perf.kernel_cycle_fraction < 0.9)
+
+let test_security_pocs () =
+  let pocs = Security.run_pocs () in
+  check Alcotest.int "22 verdicts" 22 (List.length pocs);
+  let leaks = List.filter (fun p -> p.Security.correct) pocs in
+  (* Exactly: v1 UNSAFE, v2 UNSAFE, v2 DSV-only, rsb UNSAFE. *)
+  check Alcotest.int "four leaks" 4 (List.length leaks);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "leaks only where expected" true
+        (p.Security.scheme = "UNSAFE" || p.Security.scheme = "PERSPECTIVE-ALL"))
+    leaks
+
+let test_cacti_calibration () =
+  let d = Cacti.characterize Cacti.dsv_cache_config in
+  Alcotest.(check bool) "area" true (abs_float (d.Cacti.area_mm2 -. 0.0024) < 0.0002);
+  Alcotest.(check bool) "access" true (abs_float (d.Cacti.access_ps -. 114.0) < 3.0);
+  Alcotest.(check bool) "energy" true (abs_float (d.Cacti.dyn_energy_pj -. 1.21) < 0.05);
+  Alcotest.(check bool) "leakage" true (abs_float (d.Cacti.leak_power_mw -. 0.78) < 0.03);
+  let i = Cacti.characterize Cacti.isv_cache_config in
+  Alcotest.(check bool) "isv slightly larger" true (i.Cacti.area_mm2 > d.Cacti.area_mm2);
+  (* scaling sanity *)
+  let big = Cacti.characterize { Cacti.dsv_cache_config with Cacti.entries = 256 } in
+  Alcotest.(check bool) "bigger is bigger" true
+    (big.Cacti.area_mm2 > d.Cacti.area_mm2 && big.Cacti.access_ps > d.Cacti.access_ps)
+
+let test_fragmentation () =
+  let r = Sensitivity.fragmentation () in
+  (* The paper's claim is that the secure allocator's memory cost is tiny
+     (0.91%); placement noise between the two runs can swing the sign, so we
+     assert the magnitude. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.2f%% is small" r.Sensitivity.memory_overhead_pct)
+    true
+    (abs_float r.Sensitivity.memory_overhead_pct < 3.0);
+  Alcotest.(check bool) "utilizations comparable" true
+    (abs_float (r.Sensitivity.secure_utilization -. r.Sensitivity.shared_utilization) < 0.05);
+  Alcotest.(check bool) "pages were actually used" true (r.Sensitivity.shared_pages > 100)
+
+let test_view_cache_entries_knob () =
+  let test = Lebench.find "poll" in
+  let small = Perf.run_lebench ~scale:0.3 ~view_cache_entries:8 Schemes.perspective test in
+  let big = Perf.run_lebench ~scale:0.3 ~view_cache_entries:512 Schemes.perspective test in
+  Alcotest.(check bool) "bigger caches hit at least as well" true
+    (big.Perf.dsv_hit_rate >= small.Perf.dsv_hit_rate -. 1e-9);
+  Alcotest.(check bool) "metadata pages populated" true (big.Perf.isv_pages_populated > 0);
+  Alcotest.(check bool) "metadata bytes = 128 * pages" true
+    (big.Perf.isv_metadata_bytes = 128 * big.Perf.isv_pages_populated)
+
+let test_schemes_registry () =
+  check Alcotest.int "standard" 5 (List.length Schemes.standard);
+  check Alcotest.int "hardware" 2 (List.length Schemes.hardware);
+  check Alcotest.int "spot" 2 (List.length Schemes.spot);
+  Alcotest.(check bool) "find" true ((Schemes.find "DOM").Schemes.label = "DOM")
+
+let test_static_tables_render () =
+  let t1 = E.Static_tables.sim_params () in
+  let t2 = E.Static_tables.hw_characterization () in
+  let t3 = Security.cve_table () in
+  List.iter
+    (fun t -> Alcotest.(check bool) "renders" true (String.length (Pv_util.Tab.to_string t) > 100))
+    [ t1; t2; t3 ]
+
+let suite =
+  [
+    ( "experiments.isv_study",
+      [
+        Alcotest.test_case "Table 8.1 ranges" `Slow test_surface_ranges;
+        Alcotest.test_case "Table 8.2 ranges" `Slow test_gadget_ranges;
+        Alcotest.test_case "Figure 9.1 ranges" `Slow test_speedup_ranges;
+      ] );
+    ( "experiments.perf",
+      [
+        Alcotest.test_case "select scheme ordering" `Slow test_perf_select_ordering;
+        Alcotest.test_case "fence accounting" `Slow test_perf_fence_accounting;
+        Alcotest.test_case "throughput normalization" `Slow test_perf_throughput_normalization;
+      ] );
+    ("experiments.security", [ Alcotest.test_case "PoC verdicts" `Slow test_security_pocs ]);
+    ( "experiments.analytic",
+      [
+        Alcotest.test_case "CACTI calibration" `Quick test_cacti_calibration;
+        Alcotest.test_case "fragmentation" `Slow test_fragmentation;
+        Alcotest.test_case "view-cache size knob" `Slow test_view_cache_entries_knob;
+        Alcotest.test_case "scheme registry" `Quick test_schemes_registry;
+        Alcotest.test_case "static tables render" `Quick test_static_tables_render;
+      ] );
+  ]

@@ -1,0 +1,226 @@
+(* Tests for the microarchitecture blocks: caches, memory system, TAGE,
+   BTB and RAS. *)
+
+module Cache = Pv_uarch.Cache
+module Memsys = Pv_uarch.Memsys
+module Tage = Pv_uarch.Tage
+module Btb = Pv_uarch.Btb
+module Ras = Pv_uarch.Ras
+
+let check = Alcotest.check
+
+let small_cache () =
+  Cache.create ~name:"t" ~size_bytes:512 ~line_bytes:64 ~ways:2 ~latency:2
+
+let test_cache_miss_then_hit () =
+  let c = small_cache () in
+  Alcotest.(check bool) "first miss" false (Cache.access c 0);
+  Alcotest.(check bool) "then hit" true (Cache.access c 0);
+  Alcotest.(check bool) "same line" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64)
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* 4 sets x 2 ways; lines 0, 4, 8 map to set 0. *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c (4 * 64));
+  ignore (Cache.access c 0) (* 0 is now MRU *);
+  ignore (Cache.access c (8 * 64)) (* evicts 4*64 *);
+  Alcotest.(check bool) "0 survives" true (Cache.probe c 0);
+  Alcotest.(check bool) "4*64 evicted" false (Cache.probe c (4 * 64));
+  Alcotest.(check bool) "8*64 present" true (Cache.probe c (8 * 64))
+
+let test_cache_probe_no_side_effect () =
+  let c = small_cache () in
+  Alcotest.(check bool) "probe misses" false (Cache.probe c 0);
+  Alcotest.(check bool) "still missing" false (Cache.probe c 0);
+  check Alcotest.int "no stats from probe" 0 (Cache.hits c + Cache.misses c)
+
+let test_cache_flush () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  Cache.flush_line c 0;
+  Alcotest.(check bool) "flushed" false (Cache.probe c 0);
+  ignore (Cache.access c 0);
+  Cache.flush_all c;
+  Alcotest.(check bool) "flushed all" false (Cache.probe c 0)
+
+let test_cache_stats () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  check Alcotest.int "hits" 2 (Cache.hits c);
+  check Alcotest.int "misses" 1 (Cache.misses c);
+  check (Alcotest.float 1e-9) "rate" (2.0 /. 3.0) (Cache.hit_rate c);
+  Cache.reset_stats c;
+  check Alcotest.int "reset" 0 (Cache.hits c)
+
+let test_cache_geometry_validation () =
+  Alcotest.(check bool) "bad geometry rejected" true
+    (try
+       ignore (Cache.create ~name:"x" ~size_bytes:100 ~line_bytes:64 ~ways:3 ~latency:1);
+       false
+     with Invalid_argument _ -> true)
+
+let cache_lru_prop =
+  QCheck.Test.make ~name:"most recently accessed line always survives" ~count:100
+    QCheck.(small_list (int_bound 31))
+    (fun lines ->
+      let c = small_cache () in
+      List.iter (fun l -> ignore (Cache.access c (l * 64))) lines;
+      match List.rev lines with [] -> true | last :: _ -> Cache.probe c (last * 64))
+
+let test_memsys_latencies () =
+  let ms = Memsys.create (Pv_isa.Mem.create ()) in
+  let lat1, hit1 = Memsys.data_read ms 0 in
+  Alcotest.(check bool) "cold goes to DRAM" true (lat1 > 100 && not hit1);
+  let lat2, hit2 = Memsys.data_read ms 0 in
+  Alcotest.(check bool) "L1 hit after fill" true (lat2 = 2 && hit2);
+  Memsys.flush_line ms 0;
+  let lat3, _ = Memsys.data_read ms 0 in
+  Alcotest.(check bool) "flush evicts everywhere" true (lat3 > 100)
+
+let test_memsys_l2_path () =
+  let ms = Memsys.create (Pv_isa.Mem.create ()) in
+  ignore (Memsys.data_read ms 0);
+  (* Evict from L1 (32KB, 8-way, 64 sets): 9 lines mapping to set 0. *)
+  for i = 1 to 8 do
+    ignore (Memsys.data_read ms (i * 64 * 64))
+  done;
+  let lat, hit = Memsys.data_read ms 0 in
+  Alcotest.(check bool) "L2 hit" true ((not hit) && lat = 10)
+
+let test_memsys_would_hit () =
+  let ms = Memsys.create (Pv_isa.Mem.create ()) in
+  Alcotest.(check bool) "cold" false (Memsys.would_hit_l1d ms 0);
+  ignore (Memsys.data_read ms 0);
+  Alcotest.(check bool) "warm" true (Memsys.would_hit_l1d ms 0)
+
+let test_tage_learns_loop_branch () =
+  let t = Tage.create () in
+  let pc = 0x1000 in
+  (* Pattern: taken 7x, not-taken 1x, repeating (a loop with 8 trips). *)
+  let hist = ref 0 in
+  let mispredicts = ref 0 in
+  for i = 0 to 799 do
+    let actual = i mod 8 <> 7 in
+    let pred, meta = Tage.predict t ~pc ~hist:!hist in
+    if pred <> actual then incr mispredicts;
+    Tage.update t ~pc ~hist:!hist meta ~taken:actual;
+    hist := (!hist lsl 1) lor (if actual then 1 else 0)
+  done;
+  (* After warmup the pattern is history-predictable. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "few mispredicts (%d)" !mispredicts)
+    true (!mispredicts < 120)
+
+let test_tage_biased_branch () =
+  let t = Tage.create () in
+  let mis = ref 0 in
+  for _ = 1 to 200 do
+    let pred, meta = Tage.predict t ~pc:0x2000 ~hist:0 in
+    if not pred then incr mis;
+    Tage.update t ~pc:0x2000 ~hist:0 meta ~taken:true
+  done;
+  Alcotest.(check bool) "always-taken learned" true (!mis < 10)
+
+let test_tage_mistraining () =
+  (* The Spectre-v1 primitive: train not-taken, then the predictor keeps
+     predicting not-taken on the out-of-bounds call. *)
+  let t = Tage.create () in
+  let hist = 0 in
+  for _ = 1 to 64 do
+    let _, meta = Tage.predict t ~pc:0x3000 ~hist in
+    Tage.update t ~pc:0x3000 ~hist meta ~taken:false
+  done;
+  let pred, _ = Tage.predict t ~pc:0x3000 ~hist in
+  Alcotest.(check bool) "predicts the trained direction" false pred
+
+let test_btb_update_lookup () =
+  let b = Btb.create () in
+  Alcotest.(check bool) "cold" true (Btb.lookup b 0x4000 = None);
+  Btb.update b 0x4000 0xBEEF0;
+  check Alcotest.(option int) "trained" (Some 0xBEEF0) (Btb.lookup b 0x4000);
+  Btb.update b 0x4000 0xCAFE0;
+  check Alcotest.(option int) "retrained" (Some 0xCAFE0) (Btb.lookup b 0x4000)
+
+let test_btb_aliasing () =
+  let b = Btb.create () in
+  (* Two PCs whose index and partial tag match alias to one entry — the
+     cross-context injection vector. *)
+  let pc1 = 0x4000 in
+  let pc2 = pc1 + (1 lsl 40) (* beyond the 12-bit tag *) in
+  Alcotest.(check bool) "aliases" true (Btb.aliases b pc1 pc2);
+  Btb.update b pc1 (0x1234 * 4);
+  Alcotest.(check bool) "poisoned entry shared" true (Btb.lookup b pc2 <> None)
+
+let test_btb_flush () =
+  let b = Btb.create () in
+  Btb.update b 0x4000 1;
+  Btb.flush b;
+  Alcotest.(check bool) "flushed" true (Btb.lookup b 0x4000 = None)
+
+let test_ras_lifo () =
+  let r = Ras.create ~entries:4 () in
+  Alcotest.(check bool) "empty" true (Ras.pop r = None);
+  Ras.push r 10;
+  Ras.push r 20;
+  check Alcotest.(option int) "pop 20" (Some 20) (Ras.pop r);
+  check Alcotest.(option int) "pop 10" (Some 10) (Ras.pop r)
+
+let test_ras_overflow_wraps () =
+  let r = Ras.create ~entries:2 () in
+  Ras.push r 1;
+  Ras.push r 2;
+  Ras.push r 3 (* overwrites 1 *);
+  check Alcotest.(option int) "top" (Some 3) (Ras.pop r);
+  check Alcotest.(option int) "second" (Some 2) (Ras.pop r);
+  check Alcotest.int "depth" 0 (Ras.depth r)
+
+let test_ras_stale_on_underflow () =
+  (* The ret2spec lever: after push/pop, the vacated slot is served again. *)
+  let r = Ras.create ~entries:4 () in
+  Ras.push r 42;
+  check Alcotest.(option int) "pop" (Some 42) (Ras.pop r);
+  check Alcotest.(option int) "stale value served" (Some 42) (Ras.pop r);
+  Ras.clear r;
+  Alcotest.(check bool) "cleared forgets" true (Ras.pop r = None)
+
+let suite =
+  [
+    ( "uarch.cache",
+      [
+        Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "probe side-effect free" `Quick test_cache_probe_no_side_effect;
+        Alcotest.test_case "flush" `Quick test_cache_flush;
+        Alcotest.test_case "stats" `Quick test_cache_stats;
+        Alcotest.test_case "geometry validation" `Quick test_cache_geometry_validation;
+        QCheck_alcotest.to_alcotest cache_lru_prop;
+      ] );
+    ( "uarch.memsys",
+      [
+        Alcotest.test_case "latency ladder" `Quick test_memsys_latencies;
+        Alcotest.test_case "L2 hit path" `Quick test_memsys_l2_path;
+        Alcotest.test_case "would_hit probe" `Quick test_memsys_would_hit;
+      ] );
+    ( "uarch.tage",
+      [
+        Alcotest.test_case "learns loop pattern" `Quick test_tage_learns_loop_branch;
+        Alcotest.test_case "biased branch" `Quick test_tage_biased_branch;
+        Alcotest.test_case "mistraining sticks" `Quick test_tage_mistraining;
+      ] );
+    ( "uarch.btb",
+      [
+        Alcotest.test_case "update/lookup" `Quick test_btb_update_lookup;
+        Alcotest.test_case "partial-tag aliasing" `Quick test_btb_aliasing;
+        Alcotest.test_case "flush" `Quick test_btb_flush;
+      ] );
+    ( "uarch.ras",
+      [
+        Alcotest.test_case "LIFO" `Quick test_ras_lifo;
+        Alcotest.test_case "overflow wraps" `Quick test_ras_overflow_wraps;
+        Alcotest.test_case "stale underflow serves gadget" `Quick test_ras_stale_on_underflow;
+      ] );
+  ]

@@ -1,0 +1,235 @@
+(* Unit and property tests for Pv_util: deterministic RNG, statistics,
+   bitsets and table rendering. *)
+
+module Rng = Pv_util.Rng
+module Stats = Pv_util.Stats
+module Bitset = Pv_util.Bitset
+module Tab = Pv_util.Tab
+
+let check = Alcotest.check
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits a);
+  let b = Rng.copy a in
+  check Alcotest.int "copy continues identically" (Rng.bits a) (Rng.bits b)
+
+let test_rng_split () =
+  let a = Rng.create 9 in
+  let child = Rng.split a in
+  let x = Rng.bits child and y = Rng.bits a in
+  Alcotest.(check bool) "split streams differ" true (x <> y)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_in_range () =
+  let r = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.in_range r 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 3 in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance r 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance r 1.0)
+
+let test_rng_chance_rate () =
+  let r = Rng.create 4 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_rng_float_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_pick_weighted_bias () =
+  let r = Rng.create 21 in
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 10_000 do
+    let v = Rng.pick_weighted r [| ("a", 9.0); ("b", 1.0) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  Alcotest.(check bool) "90/10 split approx" true (a > 8_700 && a < 9_300)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 31 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_stats_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "constant stddev" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check (Alcotest.float 1e-6) "known stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  check (Alcotest.float 0.0) "min" 1.0 lo;
+  check (Alcotest.float 0.0) "max" 3.0 hi
+
+let test_stats_overhead () =
+  check (Alcotest.float 1e-9) "overhead" 50.0 (Stats.percent_overhead ~baseline:100.0 150.0)
+
+let test_counter () =
+  let c = Stats.counter () in
+  Stats.add c 2.0;
+  Stats.add c 4.0;
+  check Alcotest.int "count" 2 (Stats.count c);
+  check (Alcotest.float 1e-9) "total" 6.0 (Stats.total c);
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.counter_mean c)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  check Alcotest.int "empty" 0 (Bitset.count b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 99;
+  check Alcotest.int "three" 3 (Bitset.count b);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Bitset.clear b 63;
+  Alcotest.(check bool) "cleared" false (Bitset.mem b 63);
+  check Alcotest.int "two" 2 (Bitset.count b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "oob set" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.set b 10)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 3; 4 ] in
+  check Alcotest.(list int) "union" [ 1; 2; 3; 4 ] (Bitset.elements (Bitset.union a b));
+  check Alcotest.(list int) "inter" [ 3 ] (Bitset.elements (Bitset.inter a b));
+  check Alcotest.(list int) "diff" [ 1; 2 ] (Bitset.elements (Bitset.diff a b));
+  Alcotest.(check bool) "subset no" false (Bitset.subset a b);
+  Alcotest.(check bool) "subset yes" true (Bitset.subset (Bitset.inter a b) a)
+
+let test_bitset_copy_isolated () =
+  let a = Bitset.of_list 8 [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.set b 2;
+  Alcotest.(check bool) "original untouched" false (Bitset.mem a 2)
+
+let bitset_prop =
+  QCheck.Test.make ~name:"bitset count matches elements"
+    ~count:200
+    QCheck.(small_list (int_bound 63))
+    (fun l ->
+      let b = Bitset.of_list 64 l in
+      Bitset.count b = List.length (List.sort_uniq compare l))
+
+let bitset_union_prop =
+  QCheck.Test.make ~name:"bitset union is commutative and contains both"
+    ~count:200
+    QCheck.(pair (small_list (int_bound 63)) (small_list (int_bound 63)))
+    (fun (l1, l2) ->
+      let a = Bitset.of_list 64 l1 and b = Bitset.of_list 64 l2 in
+      let u = Bitset.union a b in
+      Bitset.equal u (Bitset.union b a) && Bitset.subset a u && Bitset.subset b u)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_tab_render () =
+  let t = Tab.create ~title:"T" ~header:[ ("a", Tab.Left); ("b", Tab.Right) ] in
+  Tab.row t [ "x"; "1" ];
+  Tab.row t [ "yy" ];
+  Tab.caption t "some-note";
+  let s = Tab.to_string t in
+  Alcotest.(check bool) "title" true (contains s "== T ==");
+  Alcotest.(check bool) "row padded" true (contains s "yy");
+  Alcotest.(check bool) "caption" true (contains s "some-note")
+
+let test_tab_csv () =
+  let t = Tab.create ~title:"T" ~header:[ ("a", Tab.Left); ("b", Tab.Right) ] in
+  Tab.row t [ "x,1"; "2" ];
+  Tab.row t [ "he said \"hi\"" ];
+  let csv = Tab.to_csv t in
+  Alcotest.(check bool) "header line" true (contains csv "a,b\n");
+  Alcotest.(check bool) "comma quoted" true (contains csv "\"x,1\",2");
+  Alcotest.(check bool) "quotes doubled" true (contains csv "\"he said \"\"hi\"\"\"")
+
+let test_tab_formats () =
+  check Alcotest.string "pct" "3.5%" (Tab.pct 3.5);
+  check Alcotest.string "times" "1.57x" (Tab.times 1.57);
+  check Alcotest.string "fl" "2.00" (Tab.fl 2.0)
+
+let suite =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+        Alcotest.test_case "split" `Quick test_rng_split;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "in_range bounds" `Quick test_rng_in_range;
+        Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+        Alcotest.test_case "chance rate" `Quick test_rng_chance_rate;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "weighted pick bias" `Quick test_pick_weighted_bias;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "min_max" `Quick test_stats_min_max;
+        Alcotest.test_case "overhead" `Quick test_stats_overhead;
+        Alcotest.test_case "counter" `Quick test_counter;
+      ] );
+    ( "util.bitset",
+      [
+        Alcotest.test_case "basic" `Quick test_bitset_basic;
+        Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        Alcotest.test_case "set ops" `Quick test_bitset_ops;
+        Alcotest.test_case "copy isolation" `Quick test_bitset_copy_isolated;
+        QCheck_alcotest.to_alcotest bitset_prop;
+        QCheck_alcotest.to_alcotest bitset_union_prop;
+      ] );
+    ( "util.tab",
+      [
+        Alcotest.test_case "render" `Quick test_tab_render;
+        Alcotest.test_case "csv" `Quick test_tab_csv;
+        Alcotest.test_case "formats" `Quick test_tab_formats;
+      ] );
+  ]
