@@ -7,12 +7,19 @@
      bench/main.exe                 full reproduction (several minutes)
      bench/main.exe --quick         scaled-down run
      bench/main.exe --only fig-9.2  one experiment (see labels below)
-     bench/main.exe --no-bechamel   skip the microbenchmarks *)
+     bench/main.exe -j N            run experiment jobs on N domains
+     bench/main.exe --no-bechamel   skip the microbenchmarks
+
+   Parallel runs are deterministic: each (workload x scheme) measurement is
+   a self-contained Pv_sim.Machine job and results are merged in declaration
+   order, so every table is byte-identical for any -j (see test_pool.ml). *)
 
 module E = Pv_experiments
 module Tab = Pv_util.Tab
 
 let scale = ref 1.0
+
+let jobs = ref (Pv_util.Pool.default_jobs ())
 
 let only : string option ref = ref None
 
@@ -54,12 +61,12 @@ let isv_sections () =
     section "table-8.2" "Gadget reduction" (fun () ->
         Tab.print (E.Isv_study.gadget_table study));
     section "fig-9.1" "Kasper discovery-rate speedup" (fun () ->
-        Tab.print (E.Isv_study.speedup_table study))
+        Tab.print (E.Isv_study.speedup_table ~jobs:!jobs study))
   end
 
 let poc_section () =
   section "poc-attacks" "Chapter 8 proof-of-concept attacks" (fun () ->
-      Tab.print (E.Security.poc_table (E.Security.run_pocs ()));
+      Tab.print (E.Security.poc_table (E.Security.run_pocs ~jobs:!jobs ()));
       (* 5.4: swift gadget patching on a live system *)
       let d = Pv_attacks.Spectre_v2.run_patch_demo () in
       let verdict (o : Pv_attacks.Spectre_v2.outcome) =
@@ -102,9 +109,11 @@ let perf_sections () =
   in
   if needed then begin
     let variants = E.Schemes.standard @ E.Schemes.hardware @ E.Schemes.spot in
-    Printf.printf "\n(running the cycle-level performance matrices, scale=%.2f...)\n%!" !scale;
-    let micro = E.Perf.lebench_matrix ~scale:!scale ~variants () in
-    let macro = E.Perf.apps_matrix ~scale:!scale ~variants () in
+    (* stderr, so stdout stays byte-identical for every -j value *)
+    Printf.eprintf "\n(running the cycle-level performance matrices, scale=%.2f, -j %d...)\n%!"
+      !scale !jobs;
+    let micro = E.Perf.lebench_matrix ~scale:!scale ~jobs:!jobs ~variants () in
+    let macro = E.Perf.apps_matrix ~scale:!scale ~jobs:!jobs ~variants () in
     section "fig-9.2" "LEBench normalized latency" (fun () ->
         let tab = E.Perf_report.fig_lebench micro in
         Tab.print tab;
@@ -120,12 +129,15 @@ let perf_sections () =
         Tab.print (E.Perf_report.comparison_summary ~micro ~macro));
     section "sensitivity" "9.2 sensitivity analyses" (fun () ->
         Tab.print (E.Sensitivity.hit_rates ~micro ~macro);
-        let tab, _ = E.Sensitivity.unknown_allocations ~scale:(Float.min !scale 0.5) () in
+        let tab, _ =
+          E.Sensitivity.unknown_allocations ~scale:(Float.min !scale 0.5) ~jobs:!jobs ()
+        in
         Tab.print tab;
-        Tab.print (E.Sensitivity.fragmentation_table (E.Sensitivity.fragmentation ()));
+        Tab.print
+          (E.Sensitivity.fragmentation_table (E.Sensitivity.fragmentation ~jobs:!jobs ()));
         Tab.print (E.Sensitivity.domain_reassignment ~macro);
         Tab.print (E.Sensitivity.isv_metadata ~macro);
-        Tab.print (E.Sensitivity.cache_size_sweep ~scale:(Float.min !scale 0.6) ()))
+        Tab.print (E.Sensitivity.cache_size_sweep ~scale:(Float.min !scale 0.6) ~jobs:!jobs ()))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -234,6 +246,14 @@ let () =
     | "--only" :: l :: rest ->
       only := Some l;
       parse rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      let n = int_of_string n in
+      if n < 1 then begin
+        Printf.eprintf "-j: need at least one worker\n";
+        exit 2
+      end;
+      jobs := n;
+      parse rest
     | "--no-bechamel" :: rest ->
       run_bechamel := false;
       parse rest
@@ -244,7 +264,7 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
-         usage: main.exe [--quick] [--scale F] [--only LABEL] [--no-bechamel] [--csv DIR]\n\
+         usage: main.exe [--quick] [--scale F] [--only LABEL] [-j N] [--no-bechamel] [--csv DIR]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
         \        fig-9.1 fig-9.2 fig-9.3 poc-attacks comparisons sensitivity\n"
         arg;

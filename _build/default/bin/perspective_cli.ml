@@ -46,6 +46,16 @@ let scale_arg =
     value & opt float 1.0
     & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (iterations/requests).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pv_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the experiment runs.  Results are deterministic: \
+           any N produces output identical to -j 1 (the serial path).  Default: \
+           the recommended domain count of this machine.")
+
 (* --- attack --- *)
 
 let attack_kinds = [ "v1"; "v2"; "rsb"; "all" ]
@@ -108,15 +118,15 @@ let attack_cmd =
 (* --- surface --- *)
 
 let surface_cmd =
-  let run seed =
+  let run seed jobs =
     let study = E.Isv_study.build ~seed () in
     Tab.print (E.Isv_study.surface_table study);
     Tab.print (E.Isv_study.gadget_table study);
-    Tab.print (E.Isv_study.speedup_table ~seed study);
+    Tab.print (E.Isv_study.speedup_table ~seed ~jobs study);
     0
   in
   let doc = "ISV attack-surface study: Tables 8.1/8.2 and Figure 9.1." in
-  Cmd.v (Cmd.info "surface" ~doc) Term.(const run $ seed_arg)
+  Cmd.v (Cmd.info "surface" ~doc) Term.(const run $ seed_arg $ jobs_arg)
 
 (* --- perf --- *)
 
@@ -127,7 +137,7 @@ let perf_cmd =
       & info [ "w"; "workload" ] ~docv:"NAME"
           ~doc:"One LEBench test or app name; default: everything.")
   in
-  let run workload scheme seed scale =
+  let run workload scheme seed scale jobs =
     let variants =
       match scheme with
       | Some s ->
@@ -148,25 +158,13 @@ let perf_cmd =
       | None -> Pv_workloads.Apps.all
       | Some w -> List.filter (fun a -> a.Pv_workloads.Apps.name = w) Pv_workloads.Apps.all
     in
-    if micro_tests <> [] then begin
-      let matrix =
-        List.map
-          (fun t ->
-            ( t.Pv_workloads.Lebench.name,
-              List.map (fun v -> E.Perf.run_lebench ~seed ~scale v t) variants ))
-          micro_tests
-      in
-      Tab.print (E.Perf_report.fig_lebench matrix)
-    end;
-    if apps <> [] then begin
-      let matrix =
-        List.map
-          (fun a ->
-            (a.Pv_workloads.Apps.name, List.map (fun v -> E.Perf.run_app ~seed ~scale v a) variants))
-          apps
-      in
-      Tab.print (E.Perf_report.fig_apps matrix)
-    end;
+    if micro_tests <> [] then
+      Tab.print
+        (E.Perf_report.fig_lebench
+           (E.Perf.lebench_matrix ~seed ~scale ~jobs ~tests:micro_tests ~variants ()));
+    if apps <> [] then
+      Tab.print
+        (E.Perf_report.fig_apps (E.Perf.apps_matrix ~seed ~scale ~jobs ~apps ~variants ()));
     if micro_tests = [] && apps = [] then begin
       Printf.eprintf "unknown workload\n";
       1
@@ -174,7 +172,9 @@ let perf_cmd =
     else 0
   in
   let doc = "Cycle-level performance runs (Figures 9.2/9.3)." in
-  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ workload $ scheme_arg $ seed_arg $ scale_arg)
+  Cmd.v
+    (Cmd.info "perf" ~doc)
+    Term.(const run $ workload $ scheme_arg $ seed_arg $ scale_arg $ jobs_arg)
 
 (* --- small static commands --- *)
 

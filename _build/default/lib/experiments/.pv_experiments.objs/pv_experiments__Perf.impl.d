@@ -1,1 +1,1 @@
-lib/experiments/perf.ml: List Perspective Pv_kernel Pv_scanner Pv_sim Pv_uarch Pv_workloads Schemes
+lib/experiments/perf.ml: List Perspective Pv_kernel Pv_sim Pv_uarch Pv_util Pv_workloads Schemes

@@ -166,10 +166,12 @@ type speedup_row = {
   speedup : float;
 }
 
-let speedup_rows ?(seed = 42) t =
+let speedup_rows ?(seed = 42) ?(jobs = 1) t =
   let graph = Kernel.graph t.kernel in
   let full = Campaign.run graph t.corpus ~seed () in
-  List.map
+  (* Campaign.run only reads the shared graph/corpus (its own state is
+     local), so the per-workload bounded campaigns are pool-safe jobs. *)
+  Pv_util.Pool.run ~jobs
     (fun v ->
       let bounded = Campaign.run graph t.corpus ~scope:v.dynamic_nodes ~seed () in
       {
@@ -182,8 +184,8 @@ let speedup_rows ?(seed = 42) t =
 
 let average_speedup rows = Stats.mean (List.map (fun r -> r.speedup) rows)
 
-let speedup_table ?(seed = 42) t =
-  let rows = speedup_rows ~seed t in
+let speedup_table ?(seed = 42) ?(jobs = 1) t =
+  let rows = speedup_rows ~seed ~jobs t in
   let tab =
     Tab.create ~title:"Figure 9.1: Speedup of Kasper's gadget discovery rate (gadgets/hour)"
       ~header:

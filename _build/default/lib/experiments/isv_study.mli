@@ -54,6 +54,9 @@ type speedup_row = {
   speedup : float;
 }
 
-val speedup_rows : ?seed:int -> t -> speedup_row list
-val speedup_table : ?seed:int -> t -> Pv_util.Tab.t
+val speedup_rows : ?seed:int -> ?jobs:int -> t -> speedup_row list
+(** [jobs] parallelizes the per-workload bounded campaigns (read-only over
+    the shared kernel graph and corpus); row order is workload order. *)
+
+val speedup_table : ?seed:int -> ?jobs:int -> t -> Pv_util.Tab.t
 val average_speedup : speedup_row list -> float

@@ -32,30 +32,27 @@ let fences_per_kiloinstr run =
 
 let profile_reps = 25
 
+(* Each measurement is one self-contained Machine job: pure inputs in, a
+   [run] record out.  Nothing here may touch state shared across runs — the
+   parallel matrices below ship these to worker domains. *)
 let execute ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterations
     ~user_work ~workload_name (variant : Schemes.variant) =
   let pipe_config = variant.Schemes.transform Pipeline.default_config in
-  let m = Machine.create ~pipe_config ~seed ~syscalls () in
-  let h =
-    Machine.add_process m ~name:workload_name
-      ~user_funcs:(Driver.build ~iterations ~sequence ~user_work)
-      ~entry:0
-  in
-  Machine.freeze m;
-  Machine.profile m h ~workload:sequence ~repetitions:profile_reps;
-  let gadget_nodes =
+  let plant_gadgets =
     match variant.Schemes.scheme with
-    | Defense.Perspective Perspective.Isv.Plus ->
-      let corpus = Pv_scanner.Gadgets.plant (Kernel.graph (Machine.kernel m)) ~seed in
-      Pv_scanner.Gadgets.nodes corpus
+    | Defense.Perspective Perspective.Isv.Plus -> true
     | Defense.Perspective (Perspective.Isv.Static | Perspective.Isv.Dynamic | Perspective.Isv.All)
     | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt ->
-      []
+      false
   in
-  Machine.install_defense m ~gadget_nodes ~block_unknown
-    ~isv_cache_entries:view_cache_entries ~dsv_cache_entries:view_cache_entries
-    variant.Schemes.scheme;
-  let result, delta = Machine.run m h in
+  let m, h, result, delta =
+    Machine.run_job
+      (Machine.job ~pipe_config ~profile:sequence ~profile_reps ~plant_gadgets
+         ~block_unknown ~isv_cache_entries:view_cache_entries
+         ~dsv_cache_entries:view_cache_entries ~seed ~syscalls ~name:workload_name
+         ~user_funcs:(Driver.build ~iterations ~sequence ~user_work)
+         ~entry:0 variant.Schemes.scheme)
+  in
   (match result.Pipeline.outcome with
   | Pipeline.Halted -> ()
   | Pipeline.Out_of_fuel -> failwith (workload_name ^ ": out of fuel")
@@ -107,16 +104,41 @@ let run_app ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
     ~sequence:app.Apps.request ~iterations:app.Apps.requests
     ~user_work:app.Apps.user_work ~workload_name:app.Apps.name variant
 
-let lebench_matrix ?(seed = 42) ?(scale = 1.0) ~variants () =
-  List.map
-    (fun test ->
-      (test.Lebench.name, List.map (fun v -> run_lebench ~seed ~scale v test) variants))
-    Lebench.tests
+(* Deterministic merge: jobs are declared row-major (workload outer, variant
+   inner) and Pool.map returns results in declaration order, so the
+   reassembled matrix — and any table rendered from it — is byte-identical
+   for every worker count. *)
+let split_rows names ~width runs =
+  let rec take k l =
+    if k = 0 then ([], l)
+    else
+      match l with
+      | [] -> invalid_arg "Perf.split_rows: short result list"
+      | x :: r ->
+        let row, rest = take (k - 1) r in
+        (x :: row, rest)
+  in
+  let rec go names runs =
+    match names with
+    | [] ->
+      if runs <> [] then invalid_arg "Perf.split_rows: excess results";
+      []
+    | name :: tl ->
+      let row, rest = take width runs in
+      (name, row) :: go tl rest
+  in
+  go names runs
 
-let apps_matrix ?(seed = 42) ?(scale = 1.0) ~variants () =
-  List.map
-    (fun app -> (app.Apps.name, List.map (fun v -> run_app ~seed ~scale v app) variants))
-    Apps.all
+let lebench_matrix ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(tests = Lebench.tests)
+    ~variants () =
+  let specs = List.concat_map (fun t -> List.map (fun v -> (t, v)) variants) tests in
+  let runs = Pv_util.Pool.run ~jobs (fun (t, v) -> run_lebench ~seed ~scale v t) specs in
+  split_rows (List.map (fun t -> t.Lebench.name) tests) ~width:(List.length variants) runs
+
+let apps_matrix ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(apps = Apps.all) ~variants () =
+  let specs = List.concat_map (fun a -> List.map (fun v -> (a, v)) variants) apps in
+  let runs = Pv_util.Pool.run ~jobs (fun (a, v) -> run_app ~seed ~scale v a) specs in
+  split_rows (List.map (fun a -> a.Apps.name) apps) ~width:(List.length variants) runs
 
 let overhead_pct ~baseline run =
   (float_of_int run.cycles /. float_of_int baseline.cycles -. 1.0) *. 100.0

@@ -47,17 +47,26 @@ val run_app :
 val lebench_matrix :
   ?seed:int ->
   ?scale:float ->
+  ?jobs:int ->
+  ?tests:Pv_workloads.Lebench.test list ->
   variants:Schemes.variant list ->
   unit ->
   (string * run list) list
-(** One row per LEBench test, one run per variant (same order). *)
+(** One row per LEBench test, one run per variant (same order).  [jobs > 1]
+    fans the (workload x variant) runs out over a {!Pv_util.Pool} of that
+    many domains; results are merged back in declaration order, so the
+    matrix is identical for every [jobs] value ([1], the default, is the
+    serial path). *)
 
 val apps_matrix :
   ?seed:int ->
   ?scale:float ->
+  ?jobs:int ->
+  ?apps:Pv_workloads.Apps.app list ->
   variants:Schemes.variant list ->
   unit ->
   (string * run list) list
+(** Same contract as {!lebench_matrix} over the datacenter apps. *)
 
 val overhead_pct : baseline:run -> run -> float
 (** Execution-time overhead vs the baseline run. *)

@@ -8,8 +8,11 @@ type poc = {
   fences : int;
 }
 
-let run_pocs ?(seed = 7) () =
-  let v1 =
+(* Each PoC family is one self-contained job (a family's run_all builds a
+   fresh machine per scheme and shares nothing); the merge concatenates in
+   declaration order, so the verdict list is identical for every [jobs]. *)
+let run_pocs ?(seed = 7) ?(jobs = 1) () =
+  let v1 () =
     List.map
       (fun (o : Pv_attacks.Spectre_v1.outcome) ->
         {
@@ -21,7 +24,7 @@ let run_pocs ?(seed = 7) () =
         })
       (Pv_attacks.Spectre_v1.run_all ~seed ())
   in
-  let v2 =
+  let v2 () =
     List.map
       (fun (o : Pv_attacks.Spectre_v2.outcome) ->
         {
@@ -33,7 +36,7 @@ let run_pocs ?(seed = 7) () =
         })
       (Pv_attacks.Spectre_v2.run_all ~seed:(seed + 1) ())
   in
-  let rsb =
+  let rsb () =
     List.map
       (fun (o : Pv_attacks.Spectre_rsb.outcome) ->
         {
@@ -45,7 +48,7 @@ let run_pocs ?(seed = 7) () =
         })
       (Pv_attacks.Spectre_rsb.run_all ~seed:(seed + 2) ())
   in
-  v1 @ v2 @ rsb
+  List.concat (Pv_util.Pool.run ~jobs (fun family -> family ()) [ v1; v2; rsb ])
 
 let poc_table pocs =
   let tab =

@@ -11,7 +11,10 @@ type poc = {
   fences : int;
 }
 
-val run_pocs : ?seed:int -> unit -> poc list
+val run_pocs : ?seed:int -> ?jobs:int -> unit -> poc list
+(** [jobs] parallelizes the three attack families over a {!Pv_util.Pool};
+    the verdict list is identical for every [jobs] value. *)
+
 val poc_table : poc list -> Pv_util.Tab.t
 
 val cve_table : unit -> Pv_util.Tab.t

@@ -32,19 +32,26 @@ let hit_rates ~micro ~macro =
      datacenter rows, with more invocations per machine, show the steady state.";
   tab
 
-let unknown_allocations ?(seed = 42) ?(scale = 1.0) () =
+let unknown_allocations ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) () =
   let variant = Schemes.perspective in
   let unsafe = Schemes.unsafe in
-  let overheads block_unknown =
-    List.map
-      (fun test ->
+  (* One pure job per (blocking mode x test): a baseline/variant run pair. *)
+  let specs =
+    List.concat_map
+      (fun block_unknown -> List.map (fun test -> (block_unknown, test)) Lebench.tests)
+      [ true; false ]
+  in
+  let overheads =
+    Pv_util.Pool.run ~jobs
+      (fun (block_unknown, test) ->
         let base = Perf.run_lebench ~seed ~scale ~block_unknown unsafe test in
         let run = Perf.run_lebench ~seed ~scale ~block_unknown variant test in
         Perf.overhead_pct ~baseline:base run)
-      Lebench.tests
+      specs
   in
-  let with_blocking = Stats.mean (overheads true) in
-  let without = Stats.mean (overheads false) in
+  let ntests = List.length Lebench.tests in
+  let with_blocking = Stats.mean (List.filteri (fun i _ -> i < ntests) overheads) in
+  let without = Stats.mean (List.filteri (fun i _ -> i >= ntests) overheads) in
   let attributable = with_blocking -. without in
   let tab =
     Tab.create ~title:"9.2: Overhead attributable to unknown allocations (LEBench)"
@@ -69,7 +76,7 @@ type fragmentation_result = {
    live objects (object lifetimes are not stack-like in a kernel), which is
    what creates the partial-page fragmentation the secure allocator pays
    for. *)
-let fragmentation ?(seed = 42) () =
+let fragmentation ?(seed = 42) ?(jobs = 1) () =
   let run_mode mode =
     let phys = Physmem.create ~frames:16_384 in
     let slab = Slab.create ~mode phys in
@@ -120,8 +127,11 @@ let fragmentation ?(seed = 42) () =
     done;
     (Slab.utilization slab, Slab.peak_pages slab)
   in
-  let shared_utilization, shared_pages = run_mode Slab.Shared in
-  let secure_utilization, secure_pages = run_mode Slab.Secure in
+  let shared_utilization, shared_pages, secure_utilization, secure_pages =
+    match Pv_util.Pool.run ~jobs run_mode [ Slab.Shared; Slab.Secure ] with
+    | [ (su, sp); (eu, ep) ] -> (su, sp, eu, ep)
+    | _ -> assert false
+  in
   {
     shared_utilization;
     secure_utilization;
@@ -192,7 +202,7 @@ let domain_reassignment ~macro =
      absolute rates higher than the paper's wall-clock rates.";
   tab
 
-let cache_size_sweep ?(seed = 42) ?(scale = 0.6) () =
+let cache_size_sweep ?(seed = 42) ?(scale = 0.6) ?(jobs = 1) () =
   let tab =
     Tab.create ~title:"View-cache capacity sweep under PERSPECTIVE (extension)"
       ~header:
@@ -206,12 +216,18 @@ let cache_size_sweep ?(seed = 42) ?(scale = 0.6) () =
   in
   let test = Lebench.find "select" in
   let app = Pv_workloads.Apps.redis in
+  let rows =
+    Pv_util.Pool.run ~jobs
+      (fun entries ->
+        let ub = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries Schemes.unsafe test in
+        let pb = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries Schemes.perspective test in
+        let ua = Perf.run_app ~seed ~scale ~view_cache_entries:entries Schemes.unsafe app in
+        let pa = Perf.run_app ~seed ~scale ~view_cache_entries:entries Schemes.perspective app in
+        (entries, ub, pb, ua, pa))
+      [ 32; 64; 128; 256; 512 ]
+  in
   List.iter
-    (fun entries ->
-      let ub = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries Schemes.unsafe test in
-      let pb = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries Schemes.perspective test in
-      let ua = Perf.run_app ~seed ~scale ~view_cache_entries:entries Schemes.unsafe app in
-      let pa = Perf.run_app ~seed ~scale ~view_cache_entries:entries Schemes.perspective app in
+    (fun (entries, ub, pb, ua, pa) ->
       Tab.row tab
         [
           string_of_int entries;
@@ -222,7 +238,7 @@ let cache_size_sweep ?(seed = 42) ?(scale = 0.6) () =
             (100.0 *. pa.Perf.dsv_hit_rate);
           Tab.pct ((1.0 -. Perf.normalized_throughput ~baseline:ua pa) *. 100.0);
         ])
-    [ 32; 64; 128; 256; 512 ];
+    rows;
   Tab.caption tab
     "Paper 9.2: 128 entries already reach ~99% hit rates because the kernel \
      working set per context is small; the sweep shows where that breaks down.";

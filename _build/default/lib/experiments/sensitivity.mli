@@ -9,10 +9,11 @@ val hit_rates :
 (** ISV/DSV cache hit rates of the PERSPECTIVE runs (paper: ~99%). *)
 
 val unknown_allocations :
-  ?seed:int -> ?scale:float -> unit -> Pv_util.Tab.t * float
+  ?seed:int -> ?scale:float -> ?jobs:int -> unit -> Pv_util.Tab.t * float
 (** LEBench under PERSPECTIVE with and without blocking of unknown
     allocations; returns the table and the average overhead attributable to
-    unknown allocations (paper: 1.5%). *)
+    unknown allocations (paper: 1.5%).  [jobs] parallelizes the per-test
+    run pairs; results are order-merged, so output is [jobs]-independent. *)
 
 type fragmentation_result = {
   shared_utilization : float;
@@ -22,7 +23,7 @@ type fragmentation_result = {
   memory_overhead_pct : float;
 }
 
-val fragmentation : ?seed:int -> unit -> fragmentation_result
+val fragmentation : ?seed:int -> ?jobs:int -> unit -> fragmentation_result
 (** The same allocation trace against the shared and the secure slab
     allocator (paper: 0.91% memory overhead). *)
 
@@ -32,7 +33,7 @@ val domain_reassignment : macro:(string * Perf.run list) list -> Pv_util.Tab.t
 (** Slab frees that return a page to the buddy allocator, per app (paper:
     redis 0.23% / 96 per second; others at most 0.01% / 4 per second). *)
 
-val cache_size_sweep : ?seed:int -> ?scale:float -> unit -> Pv_util.Tab.t
+val cache_size_sweep : ?seed:int -> ?scale:float -> ?jobs:int -> unit -> Pv_util.Tab.t
 (** Extension: PERSPECTIVE's view caches swept from 32 to 512 entries on a
     cache-hostile microbenchmark (select) and a server (redis) — hit rates
     and execution overhead vs the 128-entry design point of Table 7.1. *)

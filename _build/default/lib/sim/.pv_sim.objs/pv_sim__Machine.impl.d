@@ -1,1 +1,1 @@
-lib/sim/machine.ml: Array Hashtbl List Perspective Pv_isa Pv_isvgen Pv_kernel Pv_uarch Pv_util
+lib/sim/machine.ml: Array Hashtbl List Perspective Pv_isa Pv_isvgen Pv_kernel Pv_scanner Pv_uarch Pv_util

@@ -314,3 +314,63 @@ let run ?(fuel = 40_000_000) ?regs t h =
   in
   let delta = Pipeline.diff_counters (Pipeline.counters pipe) before in
   (result, delta)
+
+(* --- self-contained job entry point ---------------------------------- *)
+
+(* A job bundles every input of a single-workload measurement run.  All
+   fields are plain data (or pure closures), so a job can be shipped to any
+   domain of a Pv_util.Pool: run_job builds a private machine — kernel,
+   memory, pipeline, RNGs, view caches — from scratch and shares nothing
+   with concurrent jobs. *)
+type job = {
+  job_seed : int;
+  job_syscalls : int list;
+  job_pipe_config : Pipeline.config;
+  job_name : string;
+  job_user_funcs : base_fid:int -> Program.func list;
+  job_entry : int;
+  job_profile : (int * int array) list;
+  job_profile_reps : int;
+  job_scheme : Perspective.Defense.scheme;
+  job_plant_gadgets : bool;
+  job_block_unknown : bool;
+  job_isv_cache_entries : int;
+  job_dsv_cache_entries : int;
+}
+
+let job ?(pipe_config = Pipeline.default_config) ?(profile = []) ?(profile_reps = 0)
+    ?(plant_gadgets = false) ?(block_unknown = true) ?(isv_cache_entries = 128)
+    ?(dsv_cache_entries = 128) ~seed ~syscalls ~name ~user_funcs ~entry scheme =
+  {
+    job_seed = seed;
+    job_syscalls = syscalls;
+    job_pipe_config = pipe_config;
+    job_name = name;
+    job_user_funcs = user_funcs;
+    job_entry = entry;
+    job_profile = profile;
+    job_profile_reps = profile_reps;
+    job_scheme = scheme;
+    job_plant_gadgets = plant_gadgets;
+    job_block_unknown = block_unknown;
+    job_isv_cache_entries = isv_cache_entries;
+    job_dsv_cache_entries = dsv_cache_entries;
+  }
+
+let run_job ?fuel (j : job) =
+  let m = create ~pipe_config:j.job_pipe_config ~seed:j.job_seed ~syscalls:j.job_syscalls () in
+  let h = add_process m ~name:j.job_name ~user_funcs:j.job_user_funcs ~entry:j.job_entry in
+  freeze m;
+  if j.job_profile_reps > 0 && j.job_profile <> [] then
+    profile m h ~workload:j.job_profile ~repetitions:j.job_profile_reps;
+  let gadget_nodes =
+    if j.job_plant_gadgets then
+      let corpus = Pv_scanner.Gadgets.plant (Kernel.graph m.kernel) ~seed:j.job_seed in
+      Pv_scanner.Gadgets.nodes corpus
+    else []
+  in
+  install_defense m ~gadget_nodes ~block_unknown:j.job_block_unknown
+    ~isv_cache_entries:j.job_isv_cache_entries ~dsv_cache_entries:j.job_dsv_cache_entries
+    j.job_scheme;
+  let result, delta = run ?fuel m h in
+  (m, h, result, delta)

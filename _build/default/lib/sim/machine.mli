@@ -85,5 +85,55 @@ val run :
 val seed_frame : t -> int -> unit
 (** Idempotently fill a frame with pointer-chase-friendly values. *)
 
+(** {1 Self-contained jobs}
+
+    A {!job} captures every input of one measurement run as plain data, so
+    the experiment layer can fan runs out across {!Pv_util.Pool} domains:
+    {!run_job} executes the whole lifecycle (create, add_process, freeze,
+    profile, install_defense, run) on a {e private} machine, sharing no
+    mutable state — kernel, memory, pipeline, RNG, view caches — with any
+    concurrent job.  Equal jobs yield bit-identical results on any domain. *)
+
+type job = {
+  job_seed : int;
+  job_syscalls : int list;
+  job_pipe_config : Pv_uarch.Pipeline.config;
+  job_name : string;
+  job_user_funcs : base_fid:int -> Pv_isa.Program.func list;
+  job_entry : int;
+  job_profile : (int * int array) list;  (** functional profiling workload *)
+  job_profile_reps : int;  (** 0 disables profiling *)
+  job_scheme : Perspective.Defense.scheme;
+  job_plant_gadgets : bool;
+      (** plant the Kasper gadget corpus and feed its nodes to ISV++ *)
+  job_block_unknown : bool;
+  job_isv_cache_entries : int;
+  job_dsv_cache_entries : int;
+}
+
+val job :
+  ?pipe_config:Pv_uarch.Pipeline.config ->
+  ?profile:(int * int array) list ->
+  ?profile_reps:int ->
+  ?plant_gadgets:bool ->
+  ?block_unknown:bool ->
+  ?isv_cache_entries:int ->
+  ?dsv_cache_entries:int ->
+  seed:int ->
+  syscalls:int list ->
+  name:string ->
+  user_funcs:(base_fid:int -> Pv_isa.Program.func list) ->
+  entry:int ->
+  Perspective.Defense.scheme ->
+  job
+
+val run_job :
+  ?fuel:int ->
+  job ->
+  t * handle * Pv_uarch.Pipeline.result * Pv_uarch.Pipeline.counters
+(** Build a fresh machine from the job spec and execute it; the returned
+    machine and handle let callers extract post-run statistics (slab, view
+    caches, ISV metadata). *)
+
 val table_va : t -> handle -> int -> int option
 (** VA of the process's dispatch table for a realized syscall (r13). *)

@@ -1,0 +1,131 @@
+(* Domain pool with an ordered job/result protocol.
+
+   Jobs are closures pushed onto a mutex-protected queue; workers (and the
+   calling domain, during [map]) pop and run them.  Each job writes its
+   result into a dedicated slot of a per-[map] results array, so completion
+   order never influences result order.  Exceptions are captured per slot
+   and re-raised — lowest job index first — only after every job of the
+   batch has finished, which makes failure behaviour independent of the
+   worker count. *)
+
+type job = unit -> unit
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when jobs arrive, a batch drains, or on shutdown *)
+  pending : job Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if not (Queue.is_empty t.pending) then Some (Queue.pop t.pending)
+    else if t.closed then None
+    else begin
+      Condition.wait t.work t.lock;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some job ->
+    Mutex.unlock t.lock;
+    job ();
+    worker_loop t
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      pending = Queue.create ();
+      closed = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+type 'b slot = Empty | Ok_r of 'b | Error_r of exn * Printexc.raw_backtrace
+
+let map t f xs =
+  if t.closed then invalid_arg "Pool.map: pool is shut down";
+  match xs with
+  | [] -> []
+  | _ when t.size = 1 -> List.map f xs (* the exact serial path *)
+  | xs ->
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let results = Array.make n Empty in
+    let remaining = Atomic.make n in
+    let job i () =
+      (results.(i) <-
+        (try Ok_r (f items.(i))
+         with e -> Error_r (e, Printexc.get_raw_backtrace ())));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* Last job of the batch: wake the caller if it is waiting. *)
+        Mutex.lock t.lock;
+        Condition.broadcast t.work;
+        Mutex.unlock t.lock
+      end
+    in
+    Mutex.lock t.lock;
+    for i = 0 to n - 1 do
+      Queue.push (job i) t.pending
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* The caller helps drain the queue... *)
+    let rec help () =
+      Mutex.lock t.lock;
+      let j = if Queue.is_empty t.pending then None else Some (Queue.pop t.pending) in
+      Mutex.unlock t.lock;
+      match j with
+      | Some job ->
+        job ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    (* ...then waits for jobs still in flight on worker domains. *)
+    Mutex.lock t.lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait t.work t.lock
+    done;
+    Mutex.unlock t.lock;
+    let collect i =
+      match results.(i) with
+      | Ok_r v -> v
+      | Error_r (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Empty -> assert false
+    in
+    (* Re-raise the first failure in job order (collect is index-ordered). *)
+    List.init n collect
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  if not was_closed then Array.iter Domain.join t.domains
+
+let run ?(jobs = 1) f xs =
+  if jobs <= 1 then List.map f xs
+  else begin
+    let t = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

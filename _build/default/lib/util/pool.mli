@@ -1,0 +1,54 @@
+(** Fixed-size worker pool over OCaml 5 domains, with an ordered job/result
+    protocol.
+
+    The pool exists to parallelize the experiment layer's embarrassingly
+    parallel [Machine] runs without giving up the repository's bit-exact
+    determinism guarantee.  The contract callers must uphold is that each job
+    is {e self-contained}: it takes pure inputs (seed, config, workload spec)
+    and touches no mutable state shared with any other job.  Under that
+    contract the pool guarantees:
+
+    - {b ordered results}: [map] returns results in the order of its input
+      list, regardless of which worker ran which job or in what order jobs
+      completed;
+    - {b serial equivalence}: a pool of size 1 runs every job in the calling
+      domain, in submission order — exactly the serial path;
+    - {b deterministic errors}: if jobs raise, every job still runs to
+      completion and the exception of the {e lowest-indexed} failing job is
+      re-raised (with its backtrace) after all workers have drained, so the
+      observable failure does not depend on the worker count.
+
+    The calling domain participates in draining the job queue during [map],
+    so a pool of size [n] uses [n-1] spawned domains plus the caller. *)
+
+type t
+(** A pool of worker domains.  Not itself thread-safe: drive a given pool
+    from one domain at a time. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [-j] default of the CLI and
+    bench harnesses. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max jobs 1 - 1] worker domains.  [jobs = 1] spawns
+    none: every subsequent [map] degenerates to [List.map]. *)
+
+val size : t -> int
+(** Total workers, including the calling domain. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] runs [f x] for every [x] of [xs] across the pool's
+    workers and returns the results in the order of [xs].  Raises
+    [Invalid_argument] if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; the pool is unusable afterwards. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [create], [map], [shutdown].  [jobs] defaults to 1
+    (the serial path) so that library callers stay serial unless a [-j] flag
+    is threaded down to them explicitly. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool, shutting it down on the
+    way out (also on exceptions). *)

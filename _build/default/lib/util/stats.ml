@@ -21,9 +21,15 @@ let min_max = function
   | x :: xs ->
     List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
 
-let percent_overhead ~baseline v = (v -. baseline) /. baseline *. 100.0
+(* A zero baseline used to propagate silent nan/inf into the tables; both
+   normalizers now refuse it loudly instead. *)
+let percent_overhead ~baseline v =
+  if baseline = 0.0 then invalid_arg "Stats.percent_overhead: zero baseline";
+  (v -. baseline) /. baseline *. 100.0
 
-let normalized ~baseline v = v /. baseline
+let normalized ~baseline v =
+  if baseline = 0.0 then invalid_arg "Stats.normalized: zero baseline";
+  v /. baseline
 
 let ratio_pct ~num ~den =
   if den = 0 then 0.0 else float_of_int num /. float_of_int den *. 100.0

@@ -13,10 +13,13 @@ val min_max : float list -> float * float
 (** Smallest and largest element.  Raises [Invalid_argument] on empty input. *)
 
 val percent_overhead : baseline:float -> float -> float
-(** [percent_overhead ~baseline v] is [(v - baseline) / baseline * 100]. *)
+(** [percent_overhead ~baseline v] is [(v - baseline) / baseline * 100].
+    Raises [Invalid_argument] when [baseline = 0.] (it used to return a
+    silent [nan]/[inf]). *)
 
 val normalized : baseline:float -> float -> float
-(** [normalized ~baseline v] is [v /. baseline]. *)
+(** [normalized ~baseline v] is [v /. baseline].  Raises [Invalid_argument]
+    when [baseline = 0.]. *)
 
 val ratio_pct : num:int -> den:int -> float
 (** Percentage [num/den * 100]; 0 when [den = 0]. *)

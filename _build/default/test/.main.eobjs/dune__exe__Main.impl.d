@@ -1,1 +1,1 @@
-test/main.ml: Alcotest Test_attacks Test_core Test_experiments Test_isa Test_isvgen Test_kernel Test_pipeline Test_scanner Test_sim Test_uarch Test_util
+test/main.ml: Alcotest Test_attacks Test_core Test_experiments Test_isa Test_isvgen Test_kernel Test_oracle Test_pipeline Test_pool Test_scanner Test_sim Test_uarch Test_util

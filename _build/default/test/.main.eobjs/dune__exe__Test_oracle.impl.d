@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array List Printf Pv_isa Pv_uarch Pv_util

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Atomic Domain Fun List Printf Pv_experiments Pv_uarch Pv_util Pv_workloads

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Hashtbl List Option Pv_util QCheck QCheck_alcotest String
+test/test_util.ml: Alcotest Array Gen Hashtbl Int List Option Printf Pv_util QCheck QCheck_alcotest Set String

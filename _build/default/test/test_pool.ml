@@ -1,0 +1,188 @@
+(* The domain pool and the determinism contract of the parallel experiment
+   runner: merged results — and the tables rendered from them — must be
+   byte-identical for every worker count. *)
+
+module Pool = Pv_util.Pool
+module Perf = Pv_experiments.Perf
+module Perf_report = Pv_experiments.Perf_report
+module Schemes = Pv_experiments.Schemes
+module Security = Pv_experiments.Security
+module Tab = Pv_util.Tab
+module Lebench = Pv_workloads.Lebench
+module Apps = Pv_workloads.Apps
+
+let check = Alcotest.check
+
+(* --- pool mechanics -------------------------------------------------- *)
+
+let test_empty () =
+  check Alcotest.(list int) "no jobs" [] (Pool.run ~jobs:4 (fun x -> x) []);
+  Pool.with_pool ~jobs:3 (fun p ->
+      check Alcotest.(list int) "no jobs, pooled" [] (Pool.map p (fun x -> x) []))
+
+let test_one_job () =
+  check Alcotest.(list int) "one job" [ 14 ] (Pool.run ~jobs:4 (fun x -> 2 * x) [ 7 ])
+
+let test_many_jobs_few_workers () =
+  let xs = List.init 200 (fun i -> i) in
+  let expected = List.map (fun i -> i * i) xs in
+  check Alcotest.(list int) "200 jobs on 3 workers" expected
+    (Pool.run ~jobs:3 (fun i -> i * i) xs)
+
+let test_order_with_skewed_durations () =
+  (* Front-load the heavy jobs so light ones finish first on other workers;
+     the result order must still be submission order. *)
+  let work i =
+    let trips = if i < 4 then 2_000_000 else 100 in
+    let acc = ref i in
+    for _ = 1 to trips do
+      acc := (!acc * 1103515245) + 12345
+    done;
+    ignore !acc;
+    i
+  in
+  let xs = List.init 64 (fun i -> i) in
+  check Alcotest.(list int) "order preserved" xs (Pool.run ~jobs:4 work xs)
+
+let test_serial_path_equals_map () =
+  let f i = (3 * i) - 1 in
+  let xs = List.init 17 (fun i -> i) in
+  check Alcotest.(list int) "-j 1 is List.map" (List.map f xs) (Pool.run ~jobs:1 f xs)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let f i = if i mod 10 = 3 then raise (Boom i) else i in
+  (* The lowest-index failure wins, for every worker count. *)
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs f (List.init 40 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        check Alcotest.int (Printf.sprintf "first failure at -j %d" jobs) 3 i)
+    [ 1; 2; 4; 8 ]
+
+let test_pool_survives_job_failure () =
+  (* A raising batch must not wedge the pool: the same pool still runs the
+     next batch, and shutdown joins all domains cleanly. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match Pool.map p (fun i -> if i = 5 then failwith "job 5" else i) (List.init 9 Fun.id) with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> check Alcotest.string "message" "job 5" m);
+      check Alcotest.(list int) "pool usable after failure" [ 2; 4; 6 ]
+        (Pool.map p (fun i -> 2 * i) [ 1; 2; 3 ]))
+
+let test_shutdown_semantics () =
+  let p = Pool.create ~jobs:3 in
+  check Alcotest.int "size" 3 (Pool.size p);
+  check Alcotest.(list int) "works" [ 1; 2 ] (Pool.map p Fun.id [ 1; 2 ]);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "map after shutdown" (Invalid_argument "Pool.map: pool is shut down")
+    (fun () -> ignore (Pool.map p Fun.id [ 1 ]))
+
+let test_results_actually_parallel () =
+  (* Sanity that jobs really run off the calling domain.  Two jobs rendezvous:
+     each waits until both have started, which can only happen if two domains
+     run them concurrently — so the recorded domain ids must differ. *)
+  let arrived = Atomic.make 0 in
+  let job _ =
+    Atomic.incr arrived;
+    let spins = ref 0 in
+    while Atomic.get arrived < 2 && !spins < 2_000_000_000 do
+      incr spins;
+      Domain.cpu_relax ()
+    done;
+    (Domain.self () :> int)
+  in
+  match Pool.run ~jobs:4 job [ 0; 1 ] with
+  | [ a; b ] -> Alcotest.(check bool) "two domains participated" true (a <> b)
+  | _ -> Alcotest.fail "unexpected result shape"
+
+(* --- determinism of the experiment layer ------------------------------ *)
+
+(* Structural identity of run records; counters are all-int records so
+   polymorphic equality is exact, and floats must match bitwise — that is
+   the determinism claim. *)
+let runs_identical (a : Perf.run) (b : Perf.run) = a = b
+
+let matrices_identical m1 m2 =
+  List.length m1 = List.length m2
+  && List.for_all2
+       (fun (n1, rs1) (n2, rs2) ->
+         n1 = n2 && List.length rs1 = List.length rs2 && List.for_all2 runs_identical rs1 rs2)
+       m1 m2
+
+let fig92_variants = [ Schemes.unsafe; Schemes.fence; Schemes.perspective ]
+
+let test_lebench_matrix_deterministic () =
+  (* Fig 9.2-shaped job set: LEBench tests x schemes, scaled down. *)
+  let tests = [ Lebench.find "ref"; Lebench.find "select"; Lebench.find "mmap" ] in
+  let serial = Perf.lebench_matrix ~scale:0.2 ~jobs:1 ~tests ~variants:fig92_variants () in
+  let parallel = Perf.lebench_matrix ~scale:0.2 ~jobs:4 ~tests ~variants:fig92_variants () in
+  Alcotest.(check bool) "-j 4 run records identical to -j 1" true
+    (matrices_identical serial parallel);
+  (* The acceptance criterion verbatim: rendered tables are byte-identical. *)
+  check Alcotest.string "fig 9.2 table bytes"
+    (Tab.to_string (Perf_report.fig_lebench serial))
+    (Tab.to_string (Perf_report.fig_lebench parallel))
+
+let test_apps_matrix_deterministic () =
+  (* Fig 9.3-shaped job set: apps x schemes. *)
+  let apps = [ Apps.memcached; Apps.redis ] in
+  let variants = [ Schemes.unsafe; Schemes.perspective ] in
+  let serial = Perf.apps_matrix ~scale:0.15 ~jobs:1 ~apps ~variants () in
+  let parallel = Perf.apps_matrix ~scale:0.15 ~jobs:4 ~apps ~variants () in
+  Alcotest.(check bool) "-j 4 run records identical to -j 1" true
+    (matrices_identical serial parallel);
+  check Alcotest.string "fig 9.3 table bytes"
+    (Tab.to_string (Perf_report.fig_apps serial))
+    (Tab.to_string (Perf_report.fig_apps parallel))
+
+let test_counters_and_fences_identical () =
+  (* Spot-check the fields the tables are built from, including the nested
+     counter record and fence counts. *)
+  let tests = [ Lebench.find "poll" ] in
+  let run jobs =
+    match Perf.lebench_matrix ~scale:0.2 ~jobs ~tests ~variants:[ Schemes.perspective ] () with
+    | [ (_, [ r ]) ] -> r
+    | _ -> Alcotest.fail "unexpected matrix shape"
+  in
+  let a = run 1 and b = run 4 in
+  check Alcotest.int "cycles" a.Perf.cycles b.Perf.cycles;
+  check Alcotest.int "committed" a.Perf.committed b.Perf.committed;
+  check Alcotest.int "isv fences" a.Perf.counters.Pv_uarch.Pipeline.fences_isv
+    b.Perf.counters.Pv_uarch.Pipeline.fences_isv;
+  check Alcotest.int "dsv fences" a.Perf.counters.Pv_uarch.Pipeline.fences_dsv
+    b.Perf.counters.Pv_uarch.Pipeline.fences_dsv;
+  check (Alcotest.float 0.0) "isv hit rate (bitwise)" a.Perf.isv_hit_rate b.Perf.isv_hit_rate;
+  check (Alcotest.float 0.0) "dsv hit rate (bitwise)" a.Perf.dsv_hit_rate b.Perf.dsv_hit_rate
+
+let test_pocs_deterministic () =
+  let serial = Security.run_pocs ~jobs:1 () in
+  let parallel = Security.run_pocs ~jobs:3 () in
+  Alcotest.(check bool) "verdict lists identical" true (serial = parallel);
+  check Alcotest.int "22 verdicts" 22 (List.length parallel)
+
+let suite =
+  [
+    ( "pool.mechanics",
+      [
+        Alcotest.test_case "empty batch" `Quick test_empty;
+        Alcotest.test_case "one job" `Quick test_one_job;
+        Alcotest.test_case "jobs >> workers" `Quick test_many_jobs_few_workers;
+        Alcotest.test_case "order under skew" `Quick test_order_with_skewed_durations;
+        Alcotest.test_case "-j 1 serial path" `Quick test_serial_path_equals_map;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "pool survives failure" `Quick test_pool_survives_job_failure;
+        Alcotest.test_case "shutdown" `Quick test_shutdown_semantics;
+        Alcotest.test_case "uses several domains" `Quick test_results_actually_parallel;
+      ] );
+    ( "pool.determinism",
+      [
+        Alcotest.test_case "Fig 9.2 job set" `Slow test_lebench_matrix_deterministic;
+        Alcotest.test_case "Fig 9.3 job set" `Slow test_apps_matrix_deterministic;
+        Alcotest.test_case "counters and fences" `Slow test_counters_and_fences_identical;
+        Alcotest.test_case "PoC verdicts" `Slow test_pocs_deterministic;
+      ] );
+  ]

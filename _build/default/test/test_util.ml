@@ -34,6 +34,55 @@ let test_rng_split () =
   let x = Rng.bits child and y = Rng.bits a in
   Alcotest.(check bool) "split streams differ" true (x <> y)
 
+(* Known-answer tests against the published SplitMix64 reference outputs
+   (Steele, Lea & Flood; also the Vigna reference implementation).  Values
+   are the full unsigned 64-bit words, so compare their decimal renderings. *)
+let kat seed expected () =
+  let r = Rng.create seed in
+  List.iter
+    (fun want -> check Alcotest.string "splitmix64 word" want (Printf.sprintf "%Lu" (Rng.int64 r)))
+    expected
+
+let test_rng_kat_seed0 =
+  kat 0 [ "16294208416658607535"; "7960286522194355700"; "487617019471545679" ]
+
+let test_rng_kat_seed1234567 =
+  kat 1234567
+    [
+      "6457827717110365317";
+      "3203168211198807973";
+      "9817491932198370423";
+      "4593380528125082431";
+      "16408922859458223821";
+    ]
+
+(* Split independence: draws from a child never perturb the parent's stream,
+   and two children split at different points differ from each other. *)
+let rng_split_independence_prop =
+  QCheck.Test.make ~name:"rng split leaves the parent stream untouched" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, skip) ->
+      let a = Rng.create seed and b = Rng.create seed in
+      for _ = 1 to skip do
+        ignore (Rng.bits a);
+        ignore (Rng.bits b)
+      done;
+      let child = Rng.split a in
+      ignore (Rng.split b);
+      (* Drain the child; the parent must continue exactly like its twin. *)
+      for _ = 1 to 16 do
+        ignore (Rng.bits child)
+      done;
+      List.init 8 (fun _ -> Rng.bits a) = List.init 8 (fun _ -> Rng.bits b))
+
+let rng_copy_prop =
+  QCheck.Test.make ~name:"rng copy is a perfect fork" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let a = Rng.create seed in
+      ignore (Rng.bits a);
+      let b = Rng.copy a in
+      List.init 16 (fun _ -> Rng.bits a) = List.init 16 (fun _ -> Rng.bits b))
+
 let test_rng_int_bounds () =
   let r = Rng.create 7 in
   for _ = 1 to 1000 do
@@ -106,6 +155,48 @@ let test_stats_min_max () =
 let test_stats_overhead () =
   check (Alcotest.float 1e-9) "overhead" 50.0 (Stats.percent_overhead ~baseline:100.0 150.0)
 
+let test_stats_zero_baseline () =
+  Alcotest.check_raises "percent_overhead"
+    (Invalid_argument "Stats.percent_overhead: zero baseline") (fun () ->
+      ignore (Stats.percent_overhead ~baseline:0.0 5.0));
+  Alcotest.check_raises "normalized" (Invalid_argument "Stats.normalized: zero baseline")
+    (fun () -> ignore (Stats.normalized ~baseline:0.0 5.0))
+
+let pos_floats = QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.001 1000.0))
+
+let stats_geomean_prop =
+  QCheck.Test.make ~name:"geomean lies between min and max" ~count:200 pos_floats
+    (fun xs ->
+      let g = Stats.geomean xs in
+      let lo, hi = Stats.min_max xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+let stats_geomean_scale_prop =
+  QCheck.Test.make ~name:"geomean scales multiplicatively" ~count:200 pos_floats
+    (fun xs ->
+      let k = 3.0 in
+      let scaled = Stats.geomean (List.map (fun x -> k *. x) xs) in
+      abs_float (scaled -. (k *. Stats.geomean xs)) < 1e-6 *. (1.0 +. scaled))
+
+let stats_stddev_prop =
+  QCheck.Test.make ~name:"stddev is non-negative and shift-invariant" ~count:200 pos_floats
+    (fun xs ->
+      let s = Stats.stddev xs in
+      let shifted = Stats.stddev (List.map (fun x -> x +. 100.0) xs) in
+      s >= 0.0 && abs_float (s -. shifted) < 1e-6)
+
+let stats_min_max_prop =
+  QCheck.Test.make ~name:"min_max brackets every element" ~count:200 pos_floats
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      List.for_all (fun x -> lo <= x && x <= hi) xs)
+
+let stats_mean_prop =
+  QCheck.Test.make ~name:"mean of n copies is the value" ~count:200
+    QCheck.(pair (float_range 0.5 100.0) (int_range 1 50))
+    (fun (v, n) ->
+      abs_float (Stats.mean (List.init n (fun _ -> v)) -. v) < 1e-9)
+
 let test_counter () =
   let c = Stats.counter () in
   Stats.add c 2.0;
@@ -163,6 +254,49 @@ let bitset_union_prop =
       let u = Bitset.union a b in
       Bitset.equal u (Bitset.union b a) && Bitset.subset a u && Bitset.subset b u)
 
+(* Set-algebra laws against the stdlib integer set as the reference model. *)
+module IntSet = Set.Make (Int)
+
+let bitset_pair = QCheck.(pair (small_list (int_bound 63)) (small_list (int_bound 63)))
+
+let model_agrees op model (l1, l2) =
+  let a = Bitset.of_list 64 l1 and b = Bitset.of_list 64 l2 in
+  let sa = IntSet.of_list l1 and sb = IntSet.of_list l2 in
+  Bitset.elements (op a b) = IntSet.elements (model sa sb)
+
+let bitset_model_union_prop =
+  QCheck.Test.make ~name:"bitset union matches Set.union" ~count:300 bitset_pair
+    (model_agrees Bitset.union IntSet.union)
+
+let bitset_model_inter_prop =
+  QCheck.Test.make ~name:"bitset inter matches Set.inter" ~count:300 bitset_pair
+    (model_agrees Bitset.inter IntSet.inter)
+
+let bitset_model_diff_prop =
+  QCheck.Test.make ~name:"bitset diff matches Set.diff" ~count:300 bitset_pair
+    (model_agrees Bitset.diff IntSet.diff)
+
+let bitset_model_subset_prop =
+  QCheck.Test.make ~name:"bitset subset matches Set.subset" ~count:300 bitset_pair
+    (fun (l1, l2) ->
+      let a = Bitset.of_list 64 l1 and b = Bitset.of_list 64 l2 in
+      Bitset.subset a b = IntSet.subset (IntSet.of_list l1) (IntSet.of_list l2))
+
+let bitset_algebra_prop =
+  QCheck.Test.make ~name:"bitset distributivity and De Morgan-ish laws" ~count:300
+    QCheck.(triple (small_list (int_bound 63)) (small_list (int_bound 63))
+              (small_list (int_bound 63)))
+    (fun (l1, l2, l3) ->
+      let a = Bitset.of_list 64 l1
+      and b = Bitset.of_list 64 l2
+      and c = Bitset.of_list 64 l3 in
+      (* a ∩ (b ∪ c) = (a ∩ b) ∪ (a ∩ c) *)
+      Bitset.equal (Bitset.inter a (Bitset.union b c))
+        (Bitset.union (Bitset.inter a b) (Bitset.inter a c))
+      (* a \ (b ∪ c) = (a \ b) ∩ (a \ c) *)
+      && Bitset.equal (Bitset.diff a (Bitset.union b c))
+           (Bitset.inter (Bitset.diff a b) (Bitset.diff a c)))
+
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -207,6 +341,10 @@ let suite =
         Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
         Alcotest.test_case "weighted pick bias" `Quick test_pick_weighted_bias;
         Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+        Alcotest.test_case "splitmix64 KAT seed 0" `Quick test_rng_kat_seed0;
+        Alcotest.test_case "splitmix64 KAT seed 1234567" `Quick test_rng_kat_seed1234567;
+        QCheck_alcotest.to_alcotest rng_split_independence_prop;
+        QCheck_alcotest.to_alcotest rng_copy_prop;
       ] );
     ( "util.stats",
       [
@@ -215,7 +353,13 @@ let suite =
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
         Alcotest.test_case "min_max" `Quick test_stats_min_max;
         Alcotest.test_case "overhead" `Quick test_stats_overhead;
+        Alcotest.test_case "zero baseline rejected" `Quick test_stats_zero_baseline;
         Alcotest.test_case "counter" `Quick test_counter;
+        QCheck_alcotest.to_alcotest stats_geomean_prop;
+        QCheck_alcotest.to_alcotest stats_geomean_scale_prop;
+        QCheck_alcotest.to_alcotest stats_stddev_prop;
+        QCheck_alcotest.to_alcotest stats_min_max_prop;
+        QCheck_alcotest.to_alcotest stats_mean_prop;
       ] );
     ( "util.bitset",
       [
@@ -225,6 +369,11 @@ let suite =
         Alcotest.test_case "copy isolation" `Quick test_bitset_copy_isolated;
         QCheck_alcotest.to_alcotest bitset_prop;
         QCheck_alcotest.to_alcotest bitset_union_prop;
+        QCheck_alcotest.to_alcotest bitset_model_union_prop;
+        QCheck_alcotest.to_alcotest bitset_model_inter_prop;
+        QCheck_alcotest.to_alcotest bitset_model_diff_prop;
+        QCheck_alcotest.to_alcotest bitset_model_subset_prop;
+        QCheck_alcotest.to_alcotest bitset_algebra_prop;
       ] );
     ( "util.tab",
       [
