@@ -56,6 +56,121 @@ let jobs_arg =
            any N produces output identical to -j 1 (the serial path).  Default: \
            the recommended domain count of this machine.")
 
+(* --- supervision flags (perf, surface) --- *)
+
+type sup = {
+  retries : int;
+  fault : Pv_util.Fault.t;
+  max_cycles : int option;
+  checkpoint : string option;
+  resume : bool;
+}
+
+let fault_conv =
+  let parse s =
+    let module F = Pv_util.Fault in
+    try
+      let specs =
+        List.map
+          (fun item ->
+            match String.split_on_char '@' item with
+            | [ kind; index ] ->
+              let index = int_of_string index in
+              let kind, first_attempts =
+                match kind with
+                | "crash" -> (F.Crash, F.always)
+                | "flaky" -> (F.Crash, 1)
+                | "slow" -> (F.Slow, F.always)
+                | "poison" -> (F.Poison, F.always)
+                | "livelock" -> (F.Livelock, F.always)
+                | _ -> failwith kind
+              in
+              { F.index; kind; first_attempts }
+            | _ -> failwith item)
+          (String.split_on_char ',' (String.trim s))
+      in
+      Ok (F.plan specs)
+    with _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad fault spec %S (expected KIND@INDEX[,KIND@INDEX...] with KIND one of \
+               crash, flaky, slow, poison, livelock)"
+              s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f ->
+        Format.pp_print_string ppf (if Pv_util.Fault.is_none f then "none" else "<plan>") )
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Extra attempts for transiently failing cells (crashes) before giving up.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt fault_conv Pv_util.Fault.none
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection, e.g. $(b,crash@2,livelock@1): job index 2 \
+           crashes on every attempt, job 1 livelocks (its run hits the cycle watchdog).  \
+           $(b,flaky@N) crashes once and succeeds on retry; $(b,slow@N) and \
+           $(b,poison@N) are also available.  Indices are positions in the sweep's \
+           cell list, so a spec is reproducible for any -j.")
+
+let max_cycles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:
+          "Cycle budget per simulation cell; a cell that exhausts it fails with a \
+           structured timeout instead of hanging the sweep.  Default: the \
+           simulator's own watchdog.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal completed cells to $(docv) as they finish.  Without $(b,--resume) \
+           a stale journal is removed first.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Serve cells already present in the $(b,--checkpoint) journal instead of \
+           re-running them; only the missing (e.g. previously failed or \
+           interrupted) cells execute.")
+
+let sup_term =
+  let mk retries fault max_cycles checkpoint resume =
+    { retries; fault; max_cycles; checkpoint; resume }
+  in
+  Cmdliner.Term.(
+    const mk $ retries_arg $ fault_arg $ max_cycles_arg $ checkpoint_arg $ resume_arg)
+
+let sup_config sup ~jobs =
+  (* A fresh checkpointed run must not inherit a previous run's cells. *)
+  (match sup.checkpoint with
+  | Some f when (not sup.resume) && Sys.file_exists f -> Sys.remove f
+  | _ -> ());
+  {
+    E.Supervise.default with
+    jobs;
+    retries = sup.retries;
+    fault = sup.fault;
+    max_cycles = sup.max_cycles;
+    checkpoint = sup.checkpoint;
+    resume = sup.resume;
+  }
+
 (* --- attack --- *)
 
 let attack_kinds = [ "v1"; "v2"; "rsb"; "all" ]
@@ -118,15 +233,19 @@ let attack_cmd =
 (* --- surface --- *)
 
 let surface_cmd =
-  let run seed jobs =
+  let run seed jobs sup =
     let study = E.Isv_study.build ~seed () in
     Tab.print (E.Isv_study.surface_table study);
     Tab.print (E.Isv_study.gadget_table study);
-    Tab.print (E.Isv_study.speedup_table ~seed ~jobs study);
-    0
+    let sweep =
+      E.Supervise.run ~config:(sup_config sup ~jobs) (E.Isv_study.speedup_cells ~seed study)
+    in
+    Tab.print (E.Isv_study.speedup_table_rows sweep.E.Supervise.results);
+    E.Supervise.report ~label:"surface" sweep;
+    E.Supervise.exit_code [ sweep ]
   in
   let doc = "ISV attack-surface study: Tables 8.1/8.2 and Figure 9.1." in
-  Cmd.v (Cmd.info "surface" ~doc) Term.(const run $ seed_arg $ jobs_arg)
+  Cmd.v (Cmd.info "surface" ~doc) Term.(const run $ seed_arg $ jobs_arg $ sup_term)
 
 (* --- perf --- *)
 
@@ -137,7 +256,7 @@ let perf_cmd =
       & info [ "w"; "workload" ] ~docv:"NAME"
           ~doc:"One LEBench test or app name; default: everything.")
   in
-  let run workload scheme seed scale jobs =
+  let run workload scheme seed scale jobs sup =
     let variants =
       match scheme with
       | Some s ->
@@ -158,23 +277,47 @@ let perf_cmd =
       | None -> Pv_workloads.Apps.all
       | Some w -> List.filter (fun a -> a.Pv_workloads.Apps.name = w) Pv_workloads.Apps.all
     in
-    if micro_tests <> [] then
-      Tab.print
-        (E.Perf_report.fig_lebench
-           (E.Perf.lebench_matrix ~seed ~scale ~jobs ~tests:micro_tests ~variants ()));
-    if apps <> [] then
-      Tab.print
-        (E.Perf_report.fig_apps (E.Perf.apps_matrix ~seed ~scale ~jobs ~apps ~variants ()));
     if micro_tests = [] && apps = [] then begin
       Printf.eprintf "unknown workload\n";
-      1
+      2
     end
-    else 0
+    else begin
+      (* The two sweeps share the checkpoint journal (their key spaces are
+         disjoint), so the stale-journal removal must happen exactly once. *)
+      let config = sup_config sup ~jobs in
+      let labels = List.map (fun v -> v.E.Schemes.label) variants in
+      let width = List.length variants in
+      let sweeps = ref [] in
+      if micro_tests <> [] then begin
+        let sweep =
+          E.Supervise.run ~config
+            (E.Perf.lebench_cells ~seed ~scale ~tests:micro_tests ~variants ())
+        in
+        let names = List.map (fun t -> t.Pv_workloads.Lebench.name) micro_tests in
+        Tab.print
+          (E.Perf_report.fig_lebench_partial ~labels
+             (E.Perf.matrix_of_sweep ~names ~width sweep));
+        E.Supervise.report ~label:"lebench" sweep;
+        sweeps := sweep :: !sweeps
+      end;
+      if apps <> [] then begin
+        let sweep =
+          E.Supervise.run ~config (E.Perf.apps_cells ~seed ~scale ~apps ~variants ())
+        in
+        let names = List.map (fun a -> a.Pv_workloads.Apps.name) apps in
+        Tab.print
+          (E.Perf_report.fig_apps_partial ~labels
+             (E.Perf.matrix_of_sweep ~names ~width sweep));
+        E.Supervise.report ~label:"apps" sweep;
+        sweeps := sweep :: !sweeps
+      end;
+      E.Supervise.exit_code !sweeps
+    end
   in
   let doc = "Cycle-level performance runs (Figures 9.2/9.3)." in
   Cmd.v
     (Cmd.info "perf" ~doc)
-    Term.(const run $ workload $ scheme_arg $ seed_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ workload $ scheme_arg $ seed_arg $ scale_arg $ jobs_arg $ sup_term)
 
 (* --- small static commands --- *)
 
@@ -195,6 +338,12 @@ let cves_cmd = table_cmd "cves" "Kernel CVE taxonomy (Table 4.1)." E.Security.cv
 let () =
   let doc = "Perspective: pliable and secure speculation in operating systems (reproduction)" in
   let info = Cmd.info "perspective" ~version:"1.0.0" ~doc in
+  let group = Cmd.group info [ attack_cmd; surface_cmd; perf_cmd; hw_cmd; params_cmd; cves_cmd ] in
+  (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),
+     2 usage error, 125 unexpected exception. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info [ attack_cmd; surface_cmd; perf_cmd; hw_cmd; params_cmd; cves_cmd ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

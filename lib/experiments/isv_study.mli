@@ -60,3 +60,12 @@ val speedup_rows : ?seed:int -> ?jobs:int -> t -> speedup_row list
 
 val speedup_table : ?seed:int -> ?jobs:int -> t -> Pv_util.Tab.t
 val average_speedup : speedup_row list -> float
+
+val speedup_cells : ?seed:int -> t -> speedup_row Supervise.cell list
+(** Figure 9.1 as supervised cells (keys ["speedup/<workload>"]); the
+    shared full-kernel campaign runs up front, each cell runs one
+    workload's ISV-bounded campaign. *)
+
+val speedup_table_rows : (string * speedup_row option) list -> Pv_util.Tab.t
+(** Render a (possibly degraded) supervised Figure 9.1; failed workloads
+    keep their row, marked FAILED, and the average covers survivors. *)

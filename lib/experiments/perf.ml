@@ -34,8 +34,10 @@ let profile_reps = 25
 
 (* Each measurement is one self-contained Machine job: pure inputs in, a
    [run] record out.  Nothing here may touch state shared across runs — the
-   parallel matrices below ship these to worker domains. *)
-let execute ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterations
+   parallel matrices below ship these to worker domains.  [fuel] is the
+   supervisor's cycle budget; a run that exhausts it raises the structured
+   Machine.Run_timeout instead of spinning forever. *)
+let execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterations
     ~user_work ~workload_name (variant : Schemes.variant) =
   let pipe_config = variant.Schemes.transform Pipeline.default_config in
   let plant_gadgets =
@@ -46,17 +48,14 @@ let execute ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterat
       false
   in
   let m, h, result, delta =
-    Machine.run_job
+    Machine.run_job ?fuel
       (Machine.job ~pipe_config ~profile:sequence ~profile_reps ~plant_gadgets
          ~block_unknown ~isv_cache_entries:view_cache_entries
          ~dsv_cache_entries:view_cache_entries ~seed ~syscalls ~name:workload_name
          ~user_funcs:(Driver.build ~iterations ~sequence ~user_work)
          ~entry:0 variant.Schemes.scheme)
   in
-  (match result.Pipeline.outcome with
-  | Pipeline.Halted -> ()
-  | Pipeline.Out_of_fuel -> failwith (workload_name ^ ": out of fuel")
-  | Pipeline.Fault msg -> failwith (workload_name ^ ": fault: " ^ msg));
+  Machine.check_result ~name:(workload_name ^ "/" ^ variant.Schemes.label) result;
   let slab = Kernel.slab (Machine.kernel m) in
   let hit_rate cache_of =
     match Machine.defense m with
@@ -91,16 +90,16 @@ let execute ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterat
   }
 
 let run_lebench ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
-    ?(view_cache_entries = 128) variant test =
+    ?(view_cache_entries = 128) ?fuel variant test =
   let test = Lebench.scaled test ~factor:scale in
-  execute ~seed ~block_unknown ~view_cache_entries ~syscalls:Lebench.all_syscalls
+  execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls:Lebench.all_syscalls
     ~sequence:test.Lebench.sequence ~iterations:test.Lebench.iterations
     ~user_work:test.Lebench.user_work ~workload_name:test.Lebench.name variant
 
 let run_app ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
-    ?(view_cache_entries = 128) variant app =
+    ?(view_cache_entries = 128) ?fuel variant app =
   let app = Apps.scaled app ~factor:scale in
-  execute ~seed ~block_unknown ~view_cache_entries ~syscalls:Apps.all_syscalls
+  execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls:Apps.all_syscalls
     ~sequence:app.Apps.request ~iterations:app.Apps.requests
     ~user_work:app.Apps.user_work ~workload_name:app.Apps.name variant
 
@@ -139,6 +138,37 @@ let apps_matrix ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(apps = Apps.all) ~vari
   let specs = List.concat_map (fun a -> List.map (fun v -> (a, v)) variants) apps in
   let runs = Pv_util.Pool.run ~jobs (fun (a, v) -> run_app ~seed ~scale v a) specs in
   split_rows (List.map (fun a -> a.Apps.name) apps) ~width:(List.length variants) runs
+
+(* --- supervised sweeps ----------------------------------------------- *)
+
+(* Cell keys are stable identities: "<family>/<workload>/<scheme label>".
+   They key the checkpoint journal, so renaming one invalidates resumes. *)
+let lebench_cells ?(seed = 42) ?(scale = 1.0) ?(tests = Lebench.tests) ~variants () =
+  List.concat_map
+    (fun t ->
+      List.map
+        (fun v ->
+          Supervise.cell
+            (Printf.sprintf "lebench/%s/%s" t.Lebench.name v.Schemes.label)
+            (fun ~fuel -> run_lebench ~seed ~scale ?fuel v t))
+        variants)
+    tests
+
+let apps_cells ?(seed = 42) ?(scale = 1.0) ?(apps = Apps.all) ~variants () =
+  List.concat_map
+    (fun a ->
+      List.map
+        (fun v ->
+          Supervise.cell
+            (Printf.sprintf "apps/%s/%s" a.Apps.name v.Schemes.label)
+            (fun ~fuel -> run_app ~seed ~scale ?fuel v a))
+        variants)
+    apps
+
+(* Reassemble a sweep's declaration-ordered results into the row-major
+   (workload x variant) matrix shape, failed cells as None. *)
+let matrix_of_sweep ~names ~width (sweep : _ Supervise.sweep) =
+  split_rows names ~width (List.map snd sweep.Supervise.results)
 
 let overhead_pct ~baseline run =
   (float_of_int run.cycles /. float_of_int baseline.cycles -. 1.0) *. 100.0

@@ -31,15 +31,19 @@ val run_lebench :
   ?scale:float ->
   ?block_unknown:bool ->
   ?view_cache_entries:int ->
+  ?fuel:int ->
   Schemes.variant ->
   Pv_workloads.Lebench.test ->
   run
+(** [fuel] bounds the run's cycles (default: the machine watchdog); a run
+    that exhausts it raises {!Pv_sim.Machine.Run_timeout}. *)
 
 val run_app :
   ?seed:int ->
   ?scale:float ->
   ?block_unknown:bool ->
   ?view_cache_entries:int ->
+  ?fuel:int ->
   Schemes.variant ->
   Pv_workloads.Apps.app ->
   run
@@ -67,6 +71,39 @@ val apps_matrix :
   unit ->
   (string * run list) list
 (** Same contract as {!lebench_matrix} over the datacenter apps. *)
+
+(** {1 Supervised sweeps}
+
+    Cell-per-(workload, scheme) versions of the matrices for
+    {!Supervise.run}: a failing cell degrades to a [None] entry of the
+    reassembled matrix instead of aborting the sweep.  Cell keys
+    (["lebench/<test>/<label>"], ["apps/<app>/<label>"]) are the checkpoint
+    identities. *)
+
+val lebench_cells :
+  ?seed:int ->
+  ?scale:float ->
+  ?tests:Pv_workloads.Lebench.test list ->
+  variants:Schemes.variant list ->
+  unit ->
+  run Supervise.cell list
+(** Row-major (test outer, variant inner), matching {!lebench_matrix}. *)
+
+val apps_cells :
+  ?seed:int ->
+  ?scale:float ->
+  ?apps:Pv_workloads.Apps.app list ->
+  variants:Schemes.variant list ->
+  unit ->
+  run Supervise.cell list
+
+val matrix_of_sweep :
+  names:string list ->
+  width:int ->
+  run Supervise.sweep ->
+  (string * run option list) list
+(** Reassemble a sweep of {!lebench_cells}/{!apps_cells} into matrix shape;
+    failed cells are [None]. *)
 
 val overhead_pct : baseline:run -> run -> float
 (** Execution-time overhead vs the baseline run. *)

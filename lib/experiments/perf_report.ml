@@ -75,6 +75,83 @@ let fig_apps matrix =
      PERSPECTIVE++ 1.2%.";
   tab
 
+(* --- partial (supervised) figures ------------------------------------ *)
+
+(* Degraded rendering for supervised sweeps: a failed cell prints FAILED; a
+   row whose UNSAFE baseline failed cannot be normalized, so its surviving
+   cells print "-" (their absolute numbers are still in the checkpoint).
+   Scheme averages are taken over the rows where both the baseline and the
+   scheme's cell survived; with no failures these figures are byte-identical
+   to the uninterrupted ones. *)
+let failed_cell = "FAILED"
+
+let partial_scheme_stats ~labels matrix f =
+  List.mapi
+    (fun i _ ->
+      let values =
+        List.filter_map
+          (fun (_, runs) ->
+            match runs with
+            | Some base :: _ -> (
+              match List.nth runs i with Some r -> Some (f ~base r) | None -> None)
+            | _ -> None)
+          matrix
+      in
+      if values = [] then None else Some (Stats.mean values))
+    labels
+
+let partial_fig ~title ~col0 ~labels ~cell ~avg matrix =
+  let tab =
+    Tab.create ~title ~header:((col0, Tab.Left) :: List.map (fun l -> (l, Tab.Right)) labels)
+  in
+  List.iter
+    (fun (name, runs) ->
+      match runs with
+      | Some base :: _ when base.Perf.label <> "UNSAFE" ->
+        invalid_arg "Perf_report: first run of each row must be UNSAFE"
+      | Some base :: _ ->
+        Tab.row tab
+          (name
+          :: List.map (function Some r -> cell ~base r | None -> failed_cell) runs)
+      | None :: _ ->
+        Tab.row tab
+          (name :: List.map (function Some _ -> "-" | None -> failed_cell) runs)
+      | [] -> Tab.row tab [ name ])
+    matrix;
+  Tab.row tab
+    ("avg overhead"
+    :: List.map
+         (function Some o -> Tab.pct o | None -> "-")
+         (partial_scheme_stats ~labels matrix avg));
+  tab
+
+let fig_lebench_partial ~labels matrix =
+  let tab =
+    partial_fig ~title:"Figure 9.2: LEBench normalized latency (lower is better)"
+      ~col0:"Test" ~labels
+      ~cell:(fun ~base r -> Tab.fl (Perf.normalized_latency ~baseline:base r))
+      ~avg:(fun ~base run -> Perf.overhead_pct ~baseline:base run)
+      matrix
+  in
+  Tab.caption tab
+    "Paper averages: FENCE 47.5% (select/poll up to 228%), PERSPECTIVE-STATIC 4.1%, \
+     PERSPECTIVE 3.6%, PERSPECTIVE++ 3.5%; DOM 23.1%, STT 3.7%.";
+  tab
+
+let fig_apps_partial ~labels matrix =
+  let tab =
+    partial_fig
+      ~title:"Figure 9.3: Datacenter requests/second normalized to UNSAFE (higher is better)"
+      ~col0:"App" ~labels
+      ~cell:(fun ~base r -> Tab.fl (Perf.normalized_throughput ~baseline:base r))
+      ~avg:(fun ~base run -> (1.0 -. Perf.normalized_throughput ~baseline:base run) *. 100.0)
+      matrix
+  in
+  Tab.caption tab
+    "Paper averages: FENCE 5.7%; PERSPECTIVE-STATIC 1.3%, PERSPECTIVE 1.2%, \
+     PERSPECTIVE++ 1.2%.";
+  tab
+
 let fence_breakdown matrix =
   let labels = labels_of matrix in
   let tab =

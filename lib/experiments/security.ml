@@ -11,7 +11,7 @@ type poc = {
 (* Each PoC family is one self-contained job (a family's run_all builds a
    fresh machine per scheme and shares nothing); the merge concatenates in
    declaration order, so the verdict list is identical for every [jobs]. *)
-let run_pocs ?(seed = 7) ?(jobs = 1) () =
+let families ?(seed = 7) () =
   let v1 () =
     List.map
       (fun (o : Pv_attacks.Spectre_v1.outcome) ->
@@ -48,7 +48,16 @@ let run_pocs ?(seed = 7) ?(jobs = 1) () =
         })
       (Pv_attacks.Spectre_rsb.run_all ~seed:(seed + 2) ())
   in
-  List.concat (Pv_util.Pool.run ~jobs (fun family -> family ()) [ v1; v2; rsb ])
+  [ ("v1", v1); ("v2", v2); ("rsb", rsb) ]
+
+let run_pocs ?(seed = 7) ?(jobs = 1) () =
+  List.concat
+    (Pv_util.Pool.run ~jobs (fun (_, family) -> family ()) (families ~seed ()))
+
+let run_pocs_cells ?(seed = 7) () =
+  List.map
+    (fun (name, family) -> Supervise.cell ("pocs/" ^ name) (fun ~fuel:_ -> family ()))
+    (families ~seed ())
 
 let poc_table pocs =
   let tab =
@@ -77,6 +86,16 @@ let poc_table pocs =
     "Paper: DSVs eliminate all active attacks; ISVs block passive attacks whose \
      gadgets are outside the view. DSV-only (PERSPECTIVE-ALL) cannot stop the \
      passive v2 attack - exactly the taxonomy's prediction.";
+  tab
+
+let poc_table_partial results =
+  let pocs = List.concat_map (fun (_, o) -> Option.value ~default:[] o) results in
+  let tab = poc_table pocs in
+  List.iter
+    (fun (key, o) ->
+      if o = None then
+        Tab.caption tab (Printf.sprintf "%s: FAILED - this family's verdicts are missing." key))
+    results;
   tab
 
 let cve_table () =

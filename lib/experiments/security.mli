@@ -17,5 +17,14 @@ val run_pocs : ?seed:int -> ?jobs:int -> unit -> poc list
 
 val poc_table : poc list -> Pv_util.Tab.t
 
+val run_pocs_cells : ?seed:int -> unit -> poc list Supervise.cell list
+(** The three attack families as supervised cells (keys ["pocs/v1"],
+    ["pocs/v2"], ["pocs/rsb"]) for {!Supervise.run}: a crashing family
+    degrades to a missing section instead of aborting the evaluation. *)
+
+val poc_table_partial : (string * poc list option) list -> Pv_util.Tab.t
+(** {!poc_table} over the surviving families of a supervised sweep; failed
+    families are called out in the captions. *)
+
 val cve_table : unit -> Pv_util.Tab.t
 (** Table 4.1. *)

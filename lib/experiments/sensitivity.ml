@@ -202,7 +202,34 @@ let domain_reassignment ~macro =
      absolute rates higher than the paper's wall-clock rates.";
   tab
 
-let cache_size_sweep ?(seed = 42) ?(scale = 0.6) ?(jobs = 1) () =
+let cache_size_entries = [ 32; 64; 128; 256; 512 ]
+
+type cache_size_point = int * Perf.run * Perf.run * Perf.run * Perf.run
+
+(* One sweep point: a baseline/PERSPECTIVE pair on the cache-hostile
+   microbenchmark and on redis, at one view-cache capacity. *)
+let cache_size_point ?(seed = 42) ?(scale = 0.6) ?fuel entries =
+  let test = Lebench.find "select" in
+  let app = Pv_workloads.Apps.redis in
+  let ub = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries ?fuel Schemes.unsafe test in
+  let pb =
+    Perf.run_lebench ~seed ~scale ~view_cache_entries:entries ?fuel Schemes.perspective test
+  in
+  let ua = Perf.run_app ~seed ~scale ~view_cache_entries:entries ?fuel Schemes.unsafe app in
+  let pa =
+    Perf.run_app ~seed ~scale ~view_cache_entries:entries ?fuel Schemes.perspective app
+  in
+  (entries, ub, pb, ua, pa)
+
+let cache_size_cells ?(seed = 42) ?(scale = 0.6) () =
+  List.map
+    (fun entries ->
+      Supervise.cell
+        (Printf.sprintf "cache-size/%d" entries)
+        (fun ~fuel -> cache_size_point ~seed ~scale ?fuel entries))
+    cache_size_entries
+
+let cache_size_table rows =
   let tab =
     Tab.create ~title:"View-cache capacity sweep under PERSPECTIVE (extension)"
       ~header:
@@ -214,35 +241,36 @@ let cache_size_sweep ?(seed = 42) ?(scale = 0.6) ?(jobs = 1) () =
           ("redis tput loss", Tab.Right);
         ]
   in
-  let test = Lebench.find "select" in
-  let app = Pv_workloads.Apps.redis in
-  let rows =
-    Pv_util.Pool.run ~jobs
-      (fun entries ->
-        let ub = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries Schemes.unsafe test in
-        let pb = Perf.run_lebench ~seed ~scale ~view_cache_entries:entries Schemes.perspective test in
-        let ua = Perf.run_app ~seed ~scale ~view_cache_entries:entries Schemes.unsafe app in
-        let pa = Perf.run_app ~seed ~scale ~view_cache_entries:entries Schemes.perspective app in
-        (entries, ub, pb, ua, pa))
-      [ 32; 64; 128; 256; 512 ]
-  in
   List.iter
-    (fun (entries, ub, pb, ua, pa) ->
-      Tab.row tab
-        [
-          string_of_int entries;
-          Printf.sprintf "%.1f%% / %.1f%%" (100.0 *. pb.Perf.isv_hit_rate)
-            (100.0 *. pb.Perf.dsv_hit_rate);
-          Tab.pct (Perf.overhead_pct ~baseline:ub pb);
-          Printf.sprintf "%.1f%% / %.1f%%" (100.0 *. pa.Perf.isv_hit_rate)
-            (100.0 *. pa.Perf.dsv_hit_rate);
-          Tab.pct ((1.0 -. Perf.normalized_throughput ~baseline:ua pa) *. 100.0);
-        ])
+    (fun (key, point) ->
+      match point with
+      | Some (entries, ub, pb, ua, pa) ->
+        Tab.row tab
+          [
+            string_of_int entries;
+            Printf.sprintf "%.1f%% / %.1f%%" (100.0 *. pb.Perf.isv_hit_rate)
+              (100.0 *. pb.Perf.dsv_hit_rate);
+            Tab.pct (Perf.overhead_pct ~baseline:ub pb);
+            Printf.sprintf "%.1f%% / %.1f%%" (100.0 *. pa.Perf.isv_hit_rate)
+              (100.0 *. pa.Perf.dsv_hit_rate);
+            Tab.pct ((1.0 -. Perf.normalized_throughput ~baseline:ua pa) *. 100.0);
+          ]
+      | None ->
+        (* keep the row so the sweep's shape survives a failed point *)
+        Tab.row tab [ Filename.basename key; "FAILED"; "-"; "FAILED"; "-" ])
     rows;
   Tab.caption tab
     "Paper 9.2: 128 entries already reach ~99% hit rates because the kernel \
      working set per context is small; the sweep shows where that breaks down.";
   tab
+
+let cache_size_sweep ?(seed = 42) ?(scale = 0.6) ?(jobs = 1) () =
+  let rows =
+    Pv_util.Pool.run ~jobs (fun entries -> cache_size_point ~seed ~scale entries)
+      cache_size_entries
+  in
+  cache_size_table
+    (List.map (fun ((entries, _, _, _, _) as p) -> (string_of_int entries, Some p)) rows)
 
 let isv_metadata ~macro =
   let tab =

@@ -38,6 +38,18 @@ val cache_size_sweep : ?seed:int -> ?scale:float -> ?jobs:int -> unit -> Pv_util
     cache-hostile microbenchmark (select) and a server (redis) — hit rates
     and execution overhead vs the 128-entry design point of Table 7.1. *)
 
+type cache_size_point = int * Perf.run * Perf.run * Perf.run * Perf.run
+(** [(entries, select UNSAFE, select PERSPECTIVE, redis UNSAFE,
+    redis PERSPECTIVE)]. *)
+
+val cache_size_cells :
+  ?seed:int -> ?scale:float -> unit -> cache_size_point Supervise.cell list
+(** The capacity sweep as supervised cells (keys ["cache-size/<entries>"]). *)
+
+val cache_size_table : (string * cache_size_point option) list -> Pv_util.Tab.t
+(** Render a (possibly degraded) supervised capacity sweep; failed points
+    keep their row, marked FAILED. *)
+
 val isv_metadata : macro:(string * Perf.run list) list -> Pv_util.Tab.t
 (** Extension: demand-populated ISV shadow pages (Figure 6.1(a)) and their
     per-context memory footprint — the cost of exposing ISVs to hardware. *)

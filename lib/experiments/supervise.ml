@@ -1,0 +1,129 @@
+(* Supervised sweep driver: Pool.map_results + Fault + Journal glued into
+   the experiment layer's unit of work (the keyed cell).
+
+   Livelock faults are realized here rather than in the pool: a livelocked
+   simulation cannot be faked by an exception, so the supervisor starves the
+   cell's cycle fuel and lets the pipeline's max_cycles watchdog produce the
+   structured Machine.Run_timeout. *)
+
+module Pool = Pv_util.Pool
+module Fault = Pv_util.Fault
+module Journal = Pv_util.Journal
+
+type 'a cell = { key : string; run : fuel:int option -> 'a }
+
+let cell key run = { key; run }
+
+type failure = { key : string; attempts : int; elapsed : float; reason : string }
+
+type 'a sweep = {
+  results : (string * 'a option) list;
+  failures : failure list;
+  restored : int;
+  executed : int;
+}
+
+type config = {
+  jobs : int;
+  retries : int;
+  fault : Fault.t;
+  max_cycles : int option;
+  livelock_fuel : int;
+  checkpoint : string option;
+  resume : bool;
+}
+
+let default =
+  {
+    jobs = 1;
+    retries = 0;
+    fault = Fault.none;
+    max_cycles = None;
+    livelock_fuel = 5_000;
+    checkpoint = None;
+    resume = false;
+  }
+
+let run ?(config = default) (cells : 'a cell list) =
+  let keys = List.map (fun (c : 'a cell) -> c.key) cells in
+  let distinct = List.sort_uniq compare keys in
+  if List.length distinct <> List.length keys then
+    invalid_arg "Supervise.run: duplicate cell keys";
+  let restored_tbl =
+    match config.checkpoint with
+    | Some path when config.resume -> Journal.load_table path
+    | _ -> Hashtbl.create 0
+  in
+  let todo = List.filter (fun (c : 'a cell) -> not (Hashtbl.mem restored_tbl c.key)) cells in
+  let todo_keys = Array.of_list (List.map (fun (c : 'a cell) -> c.key) todo) in
+  let writer = Option.map Journal.open_writer config.checkpoint in
+  let fuel_for index =
+    (* attempt 0 suffices: livelock decisions are attempt-independent in
+       seeded plans, and a planned flaky livelock makes little sense. *)
+    match Fault.decide config.fault ~index ~attempt:0 with
+    | Some Fault.Livelock -> Some config.livelock_fuel
+    | _ -> config.max_cycles
+  in
+  let on_outcome index (o : _ Pool.outcome) =
+    match (writer, o.Pool.result) with
+    | Some w, Ok v -> Journal.append w ~key:todo_keys.(index) v
+    | _ -> ()
+  in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Journal.close writer)
+      (fun () ->
+        Pool.with_pool ~jobs:config.jobs (fun p ->
+            Pool.map_results ~retries:config.retries ~fault:config.fault ~on_outcome p
+              (fun (i, c) -> c.run ~fuel:(fuel_for i))
+              (List.mapi (fun i c -> (i, c)) todo)))
+  in
+  let ran = Hashtbl.create (List.length todo) in
+  List.iter2 (fun (c : 'a cell) o -> Hashtbl.replace ran c.key o) todo outcomes;
+  let restored = ref 0 in
+  let results, failures =
+    List.fold_left
+      (fun (res, fails) (c : 'a cell) ->
+        match Hashtbl.find_opt restored_tbl c.key with
+        | Some v ->
+          incr restored;
+          ((c.key, Some v) :: res, fails)
+        | None -> (
+          let o = Hashtbl.find ran c.key in
+          match o.Pool.result with
+          | Ok v -> ((c.key, Some v) :: res, fails)
+          | Error e ->
+            let f =
+              {
+                key = c.key;
+                attempts = o.Pool.attempts;
+                elapsed = o.Pool.elapsed;
+                reason = Printexc.to_string e.Pool.exn;
+              }
+            in
+            ((c.key, None) :: res, f :: fails)))
+      ([], []) cells
+  in
+  {
+    results = List.rev results;
+    failures = List.rev failures;
+    restored = !restored;
+    executed = List.length todo;
+  }
+
+let failed s = List.length s.failures
+
+let exit_code sweeps = if List.exists (fun s -> failed s > 0) sweeps then 1 else 0
+
+let report ?(out = stderr) ~label s =
+  Printf.fprintf out "%s: %d cells, %d restored from checkpoint, %d executed, %d failed\n"
+    label
+    (List.length s.results)
+    s.restored s.executed (failed s);
+  List.iter
+    (fun f ->
+      Printf.fprintf out "  FAILED %s after %d attempt%s (%.2fs): %s\n" f.key f.attempts
+        (if f.attempts = 1 then "" else "s")
+        f.elapsed f.reason)
+    s.failures;
+  flush out

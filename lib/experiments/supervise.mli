@@ -1,0 +1,73 @@
+(** Supervised experiment sweeps: fault-tolerant, checkpointed, resumable.
+
+    A sweep is a list of {e cells} — self-contained measurement jobs with a
+    stable string key (e.g. ["lebench/select/PERSPECTIVE"]).  {!run} executes
+    them on a {!Pv_util.Pool} via [map_results], so a raising, poisoned or
+    livelocked cell degrades to a per-cell failure instead of aborting the
+    sweep; completed cells are checkpointed to a {!Pv_util.Journal} as they
+    finish, and a [resume] run serves checkpointed cells from the journal and
+    executes only the rest.
+
+    Determinism: cell values are pure functions of their inputs, fault
+    injection is keyed on the cell's index, and results are merged in
+    declaration order — so for a fixed fault plan the sweep's outcome (up to
+    wall-clock fields) is identical for every worker count, and a resumed
+    sweep converges to exactly the table an uninterrupted run produces. *)
+
+type 'a cell = {
+  key : string;  (** stable identity: also the checkpoint-journal key *)
+  run : fuel:int option -> 'a;
+      (** the measurement; [fuel] is the cycle budget the supervisor imposes
+          ([None] = the simulator's own default watchdog) *)
+}
+
+val cell : string -> (fuel:int option -> 'a) -> 'a cell
+
+type failure = {
+  key : string;
+  attempts : int;
+  elapsed : float;  (** wall clock, informational only *)
+  reason : string;  (** deterministic rendering of the final exception *)
+}
+
+type 'a sweep = {
+  results : (string * 'a option) list;
+      (** every cell in declaration order; [None] = failed *)
+  failures : failure list;  (** declaration order *)
+  restored : int;  (** cells served from the checkpoint journal *)
+  executed : int;  (** cells actually run by this invocation *)
+}
+
+type config = {
+  jobs : int;  (** pool size; [1] is the exact serial path *)
+  retries : int;  (** extra attempts for transient failures *)
+  fault : Pv_util.Fault.t;  (** deterministic fault injection *)
+  max_cycles : int option;  (** per-cell cycle budget ([None]: default) *)
+  livelock_fuel : int;
+      (** the starved budget given to a [Livelock]-faulted cell so the
+          pipeline watchdog fires quickly *)
+  checkpoint : string option;  (** journal path; [None] disables *)
+  resume : bool;  (** serve already-journaled cells from the checkpoint *)
+}
+
+val default : config
+(** [jobs = 1], [retries = 0], no fault, no cycle override, no checkpoint. *)
+
+val run : ?config:config -> 'a cell list -> 'a sweep
+(** Execute the sweep under supervision.  Cell keys must be unique.  With a
+    checkpoint configured, each completed cell is appended (and flushed) from
+    the domain that ran it, so a crash or Ctrl-C loses at most in-flight
+    cells; the journal file is opened in append mode — callers starting a
+    {e fresh} checkpointed sweep should remove a stale file first (the CLI
+    does this when [--resume] is not given). *)
+
+val failed : _ sweep -> int
+(** Number of failed cells. *)
+
+val exit_code : _ sweep list -> int
+(** [0] if every sweep is clean, [1] if any had failed cells — the CLI's
+    degraded-run signal. *)
+
+val report : ?out:out_channel -> label:string -> _ sweep -> unit
+(** Print the failure report (one summary line; one line per failed cell)
+    to [out] (default [stderr]). *)

@@ -305,8 +305,14 @@ let hooks_for t h =
   in
   { Pipeline.on_syscall; on_sysret; on_commit = None }
 
-let run ?(fuel = 40_000_000) ?regs t h =
+let run ?fuel ?regs t h =
   let pipe = pipeline t in
+  (* The machine-level watchdog: a full run spans many syscalls, so its
+     default budget is twice the pipeline's per-run [max_cycles] (with the
+     stock config that is the historical 40M-cycle ceiling). *)
+  let fuel =
+    match fuel with Some f -> f | None -> 2 * (Pipeline.config pipe).Pipeline.max_cycles
+  in
   let before = Pipeline.copy_counters (Pipeline.counters pipe) in
   let result =
     Pipeline.run ?regs ~fuel ~hooks:(hooks_for t h) pipe ~asid:(Process.asid h.proc)
@@ -314,6 +320,28 @@ let run ?(fuel = 40_000_000) ?regs t h =
   in
   let delta = Pipeline.diff_counters (Pipeline.counters pipe) before in
   (result, delta)
+
+(* --- structured run outcomes ----------------------------------------- *)
+
+exception Run_timeout of { name : string; cycles : int; committed : int }
+exception Run_fault of { name : string; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Run_timeout { name; cycles; committed } ->
+      Some
+        (Printf.sprintf "%s: watchdog timeout after %d cycles (%d committed)" name cycles
+           committed)
+    | Run_fault { name; msg } -> Some (Printf.sprintf "%s: machine fault: %s" name msg)
+    | _ -> None)
+
+let check_result ~name (r : Pipeline.result) =
+  match r.Pipeline.outcome with
+  | Pipeline.Halted -> ()
+  | Pipeline.Out_of_fuel ->
+    raise
+      (Run_timeout { name; cycles = r.Pipeline.cycles; committed = r.Pipeline.committed })
+  | Pipeline.Fault msg -> raise (Run_fault { name; msg })
 
 (* --- self-contained job entry point ---------------------------------- *)
 

@@ -80,7 +80,21 @@ val run :
   handle ->
   Pv_uarch.Pipeline.result * Pv_uarch.Pipeline.counters
 (** Execute the process's user entry until [Halt]; returns the result and
-    this run's counter delta. *)
+    this run's counter delta.  [fuel] defaults to twice the pipeline
+    config's [max_cycles] watchdog (a full run spans many syscalls), i.e.
+    40M cycles with the stock config. *)
+
+exception Run_timeout of { name : string; cycles : int; committed : int }
+(** A run hit its cycle-fuel watchdog: the structured form of a livelocked
+    simulation.  Registered with a human-readable [Printexc] printer. *)
+
+exception Run_fault of { name : string; msg : string }
+(** A run committed a fault. *)
+
+val check_result : name:string -> Pv_uarch.Pipeline.result -> unit
+(** [check_result ~name r] is the supervision bridge: it turns a non-[Halted]
+    pipeline outcome into {!Run_timeout} / {!Run_fault} so the experiment
+    layer's supervisor can classify and report it per cell. *)
 
 val seed_frame : t -> int -> unit
 (** Idempotently fill a frame with pointer-chase-friendly values. *)

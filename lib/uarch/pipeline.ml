@@ -18,6 +18,7 @@ type config = {
   retpoline : bool;
   kernel_entry_cycles : int;
   kernel_exit_cycles : int;
+  max_cycles : int;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     retpoline = false;
     kernel_entry_cycles = 120;
     kernel_exit_cycles = 90;
+    max_cycles = 20_000_000;
   }
 
 type counters = {
@@ -942,7 +944,8 @@ let reset_run_state t ~asid ~start regs =
   t.kernel_mode <- is_kernel_fid t start;
   t.run_outcome <- None
 
-let run ?(fuel = 20_000_000) ?regs ?(hooks = null_hooks) t ~asid ~start =
+let run ?fuel ?regs ?(hooks = null_hooks) t ~asid ~start =
+  let fuel = match fuel with Some f -> f | None -> t.cfg.max_cycles in
   let regs =
     match regs with Some r -> Array.copy r | None -> Array.make Insn.num_regs 0
   in

@@ -38,10 +38,15 @@ type config = {
           and stall fetch until they resolve *)
   kernel_entry_cycles : int;  (** user->kernel transition cost *)
   kernel_exit_cycles : int;  (** kernel->user transition cost *)
+  max_cycles : int;
+      (** cycle-fuel watchdog: the default fuel of {!run}, so a livelocked
+          simulation terminates with a structured [Out_of_fuel] outcome
+          instead of spinning forever *)
 }
 
 val default_config : config
-(** Table 7.1: 8-issue, 192 ROB, 62 LQ, 32 SQ, 4096-entry BTB, 16-entry RAS. *)
+(** Table 7.1: 8-issue, 192 ROB, 62 LQ, 32 SQ, 4096-entry BTB, 16-entry RAS;
+    [max_cycles = 20_000_000]. *)
 
 type counters = {
   mutable cycles : int;
@@ -114,5 +119,5 @@ val run :
   start:int ->
   result
 (** Execute from instruction 0 of function [start] until a [Halt] commits, a
-    fault commits, a [Stop] trap action, or [fuel] cycles elapse (default
-    20_000_000). *)
+    fault commits, a [Stop] trap action, or [fuel] cycles elapse (default:
+    the config's [max_cycles] watchdog). *)

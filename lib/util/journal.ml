@@ -1,0 +1,40 @@
+(* Append-only journal of marshalled (key, value) records.  Each append is
+   one Marshal block followed by a flush, so the file is always a valid
+   prefix of records plus at most one torn tail; load stops at the tear. *)
+
+type writer = { ch : out_channel; lock : Mutex.t }
+
+let open_writer path =
+  let ch = open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path in
+  { ch; lock = Mutex.create () }
+
+let append w ~key v =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      Marshal.to_channel w.ch (key, v) [];
+      flush w.ch)
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) (fun () -> close_out w.ch)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let rec go acc =
+      match (Marshal.from_channel ic : string * _) with
+      | kv -> go (kv :: acc)
+      | exception (End_of_file | Failure _) ->
+        (* clean EOF, or a record torn by a mid-write kill: keep the prefix *)
+        List.rev acc
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go [])
+  end
+
+let load_table path =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (load path);
+  tbl

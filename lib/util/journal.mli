@@ -1,0 +1,34 @@
+(** Append-only checkpoint journal for experiment sweeps.
+
+    A journal is a sequence of marshalled [(key, value)] records.  The
+    supervised runner appends one record per completed sweep cell (from
+    whichever domain ran it — {!append} is thread-safe and flushes), so a
+    crashed or interrupted sweep can be resumed: {!load} returns every record
+    whose bytes made it to disk, and a torn trailing record — the signature
+    of a mid-write kill — is silently dropped.
+
+    {b Type safety.} Values go through [Marshal] untyped, exactly like any
+    on-disk cache; a journal must only ever be read back at the type it was
+    written with.  The supervised runner guarantees this by prefixing every
+    key with its sweep family (["lebench/..."], ["speedup/..."]) and keeping
+    one value type per family. *)
+
+type writer
+
+val open_writer : string -> writer
+(** Open (creating if needed) for append.  Existing records are kept — the
+    caller decides whether an old journal is a resume source or stale (the
+    CLI removes the file when starting a fresh checkpointed sweep). *)
+
+val append : writer -> key:string -> 'a -> unit
+(** Append one record and flush.  Safe to call from multiple domains. *)
+
+val close : writer -> unit
+
+val load : string -> (string * 'a) list
+(** All complete records, in write order; [[]] if the file does not exist.
+    Duplicate keys are possible (a cell re-run after a resume); later records
+    supersede earlier ones. *)
+
+val load_table : string -> (string, 'a) Hashtbl.t
+(** {!load} into a last-wins table. *)

@@ -35,7 +35,11 @@ let rec worker_loop t =
   | None -> Mutex.unlock t.lock
   | Some job ->
     Mutex.unlock t.lock;
-    job ();
+    (* A job may never kill its domain: [map]'s jobs capture their own
+       exceptions, but a raw [submit]ed closure might not — swallowing here
+       keeps the domain serving the queue instead of dying silently and
+       deadlocking a later batch. *)
+    (try job () with _ -> ());
     worker_loop t
 
 let create ~jobs =
@@ -84,14 +88,16 @@ let map t f xs =
     done;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
-    (* The caller helps drain the queue... *)
+    (* The caller helps drain the queue.  The swallow guard matters for raw
+       [submit]ted closures still queued ahead of this batch: [map]'s own
+       jobs capture their exceptions in their slot and never raise here. *)
     let rec help () =
       Mutex.lock t.lock;
       let j = if Queue.is_empty t.pending then None else Some (Queue.pop t.pending) in
       Mutex.unlock t.lock;
       match j with
       | Some job ->
-        job ();
+        (try job () with _ -> ());
         help ()
       | None -> ()
     in
@@ -111,13 +117,108 @@ let map t f xs =
     (* Re-raise the first failure in job order (collect is index-ordered). *)
     List.init n collect
 
+(* --- supervised mapping ---------------------------------------------- *)
+
+type classification = Transient | Permanent
+
+type error = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  classification : classification;
+}
+
+type 'b outcome = { result : ('b, error) result; attempts : int; elapsed : float }
+
+let default_classify = function Fault.Crashed _ -> Transient | _ -> Permanent
+
+(* Deterministic backoff: a bounded busy-wait (doubling per attempt) rather
+   than a sleep, so retry timing can neither deadlock a shutdown nor leak
+   nondeterminism into anything observable. *)
+let backoff_spin attempt =
+  for _ = 1 to 1_000 * (1 lsl min attempt 10) do
+    Domain.cpu_relax ()
+  done
+
+let map_results ?(retries = 0) ?(classify = default_classify) ?(fault = Fault.none)
+    ?on_outcome t f xs =
+  if retries < 0 then invalid_arg "Pool.map_results: negative retries";
+  let attempt_one index x =
+    let t0 = Unix.gettimeofday () in
+    let rec go attempt =
+      let res =
+        match Fault.decide fault ~index ~attempt with
+        | Some Fault.Crash ->
+          Error (Fault.Crashed { index; attempt }, Printexc.get_callstack 8)
+        | Some Fault.Poison ->
+          (* The job "completes" — burning the same work — but its result is
+             rejected as corrupt. *)
+          (match f x with _ -> () | exception _ -> ());
+          Error (Fault.Poisoned { index; attempt }, Printexc.get_callstack 8)
+        | Some Fault.Slow ->
+          Fault.spin ();
+          (try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))
+        | Some Fault.Livelock | None -> (
+          (* Livelock is realized above the pool (fuel starvation); here the
+             job just runs and the simulator's watchdog produces the error. *)
+          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))
+      in
+      match res with
+      | Ok v -> { result = Ok v; attempts = attempt + 1; elapsed = Unix.gettimeofday () -. t0 }
+      | Error (exn, backtrace) ->
+        let classification = classify exn in
+        if classification = Transient && attempt < retries then begin
+          backoff_spin attempt;
+          go (attempt + 1)
+        end
+        else
+          {
+            result = Error { exn; backtrace; classification };
+            attempts = attempt + 1;
+            elapsed = Unix.gettimeofday () -. t0;
+          }
+    in
+    let outcome = go 0 in
+    (match on_outcome with
+    | Some hook -> ( try hook index outcome with _ -> ())
+    | None -> ());
+    outcome
+  in
+  map t (fun (i, x) -> attempt_one i x) (List.mapi (fun i x -> (i, x)) xs)
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.pending;
+  Condition.signal t.work;
+  Mutex.unlock t.lock
+
 let shutdown t =
   Mutex.lock t.lock;
   let was_closed = t.closed in
   t.closed <- true;
   Condition.broadcast t.work;
   Mutex.unlock t.lock;
-  if not was_closed then Array.iter Domain.join t.domains
+  if not was_closed then begin
+    (* Accepted jobs are never lost: the caller helps drain whatever is
+       still queued (essential for fire-and-forget [submit]s on a pool of
+       size 1, which has no worker domains), then joins the workers — who
+       also drain the queue before exiting. *)
+    let rec drain () =
+      Mutex.lock t.lock;
+      let j = if Queue.is_empty t.pending then None else Some (Queue.pop t.pending) in
+      Mutex.unlock t.lock;
+      match j with
+      | Some job ->
+        (try job () with _ -> ());
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Array.iter Domain.join t.domains
+  end
 
 let run ?(jobs = 1) f xs =
   if jobs <= 1 then List.map f xs

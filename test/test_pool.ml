@@ -99,6 +99,122 @@ let test_results_actually_parallel () =
   | [ a; b ] -> Alcotest.(check bool) "two domains participated" true (a <> b)
   | _ -> Alcotest.fail "unexpected result shape"
 
+(* --- supervised mapping ----------------------------------------------- *)
+
+module Fault = Pv_util.Fault
+
+(* The determinism contract of an outcome list excludes wall-clock. *)
+let outcome_shape (o : _ Pool.outcome) =
+  ( (match o.Pool.result with
+    | Ok v -> Ok v
+    | Error e -> Error (Printexc.to_string e.Pool.exn, e.Pool.classification = Pool.Transient)),
+    o.Pool.attempts )
+
+let test_map_results_clean () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let outcomes = Pool.map_results p (fun i -> i * i) (List.init 20 Fun.id) in
+      List.iteri
+        (fun i o ->
+          check Alcotest.int "attempts" 1 o.Pool.attempts;
+          match o.Pool.result with
+          | Ok v -> check Alcotest.int "value" (i * i) v
+          | Error _ -> Alcotest.fail "unexpected failure")
+        outcomes)
+
+let test_map_results_captures_failures () =
+  (* Unlike map, one bad job must not eat the batch. *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      let outcomes =
+        Pool.map_results p (fun i -> if i = 3 then failwith "bad" else i) (List.init 6 Fun.id)
+      in
+      let oks = List.filter (fun o -> Result.is_ok o.Pool.result) outcomes in
+      check Alcotest.int "five survivors" 5 (List.length oks);
+      match (List.nth outcomes 3).Pool.result with
+      | Error e ->
+        Alcotest.(check bool) "permanent" true (e.Pool.classification = Pool.Permanent)
+      | Ok _ -> Alcotest.fail "job 3 should fail")
+
+let test_flaky_retry () =
+  (* flaky = crashes while attempt < 1, then succeeds: one retry heals it. *)
+  let fault = Fault.plan [ { Fault.index = 2; kind = Fault.Crash; first_attempts = 1 } ] in
+  Pool.with_pool ~jobs:2 (fun p ->
+      let no_retry = Pool.map_results ~fault p Fun.id (List.init 4 Fun.id) in
+      (match (List.nth no_retry 2).Pool.result with
+      | Error e ->
+        Alcotest.(check bool) "transient" true (e.Pool.classification = Pool.Transient)
+      | Ok _ -> Alcotest.fail "should crash without retries");
+      let healed = Pool.map_results ~retries:1 ~fault p Fun.id (List.init 4 Fun.id) in
+      let o = List.nth healed 2 in
+      check Alcotest.int "second attempt succeeded" 2 o.Pool.attempts;
+      Alcotest.(check bool) "healed" true (o.Pool.result = Ok 2))
+
+let test_poison_is_permanent () =
+  (* Poison classifies permanent: retries must not be spent on it. *)
+  let fault = Fault.plan [ { Fault.index = 1; kind = Fault.Poison; first_attempts = Fault.always } ] in
+  Pool.with_pool ~jobs:2 (fun p ->
+      let outcomes = Pool.map_results ~retries:5 ~fault p Fun.id (List.init 3 Fun.id) in
+      let o = List.nth outcomes 1 in
+      check Alcotest.int "no retries burned" 1 o.Pool.attempts;
+      match o.Pool.result with
+      | Error { Pool.exn = Fault.Poisoned _; classification = Pool.Permanent; _ } -> ()
+      | _ -> Alcotest.fail "expected permanent Poisoned")
+
+let test_seeded_faults_deterministic () =
+  (* The fault-injected determinism claim: same seed, any -j, identical
+     outcome shapes (values, attempt counts, failure reasons). *)
+  let fault = Fault.seeded ~seed:7 ~crash:0.3 ~slow:0.2 ~poison:0.15 () in
+  let shapes jobs =
+    Pool.with_pool ~jobs (fun p ->
+        List.map outcome_shape
+          (Pool.map_results ~retries:1 ~fault p (fun i -> 3 * i) (List.init 40 Fun.id)))
+  in
+  let serial = shapes 1 in
+  Alcotest.(check bool) "some jobs failed" true
+    (List.exists (fun (r, _) -> Result.is_error r) serial);
+  Alcotest.(check bool) "some jobs retried" true
+    (List.exists (fun (_, attempts) -> attempts > 1) serial);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "-j %d outcomes identical to -j 1" jobs)
+        true
+        (shapes jobs = serial))
+    [ 2; 4 ]
+
+let test_on_outcome_hook () =
+  (* Called once per job with its final outcome; hook exceptions ignored. *)
+  let seen = Atomic.make 0 in
+  let hook _ (o : _ Pool.outcome) =
+    if Result.is_ok o.Pool.result then Atomic.incr seen;
+    failwith "hook failure must be swallowed"
+  in
+  Pool.with_pool ~jobs:3 (fun p ->
+      let outcomes = Pool.map_results ~on_outcome:hook p Fun.id (List.init 12 Fun.id) in
+      check Alcotest.int "all outcomes back" 12 (List.length outcomes));
+  check Alcotest.int "hook saw every success" 12 (Atomic.get seen)
+
+let test_submit_crash_proof () =
+  (* A raising fire-and-forget job must not kill its worker domain. *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      for _ = 1 to 8 do
+        Pool.submit p (fun () -> failwith "worker must survive this")
+      done;
+      check Alcotest.(list int) "pool still serves maps" [ 10; 20 ]
+        (Pool.map p (fun i -> 10 * i) [ 1; 2 ]))
+
+let test_shutdown_drains_pending () =
+  (* Every accepted job runs even if shutdown follows immediately. *)
+  let ran = Atomic.make 0 in
+  let p = Pool.create ~jobs:3 in
+  for _ = 1 to 50 do
+    Pool.submit p (fun () -> Atomic.incr ran)
+  done;
+  Pool.shutdown p;
+  check Alcotest.int "all pending jobs ran" 50 (Atomic.get ran);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Pool.submit p (fun () -> ()))
+
 (* --- determinism of the experiment layer ------------------------------ *)
 
 (* Structural identity of run records; counters are all-int records so
@@ -177,6 +293,17 @@ let suite =
         Alcotest.test_case "pool survives failure" `Quick test_pool_survives_job_failure;
         Alcotest.test_case "shutdown" `Quick test_shutdown_semantics;
         Alcotest.test_case "uses several domains" `Quick test_results_actually_parallel;
+      ] );
+    ( "pool.supervised",
+      [
+        Alcotest.test_case "map_results clean batch" `Quick test_map_results_clean;
+        Alcotest.test_case "failures captured per job" `Quick test_map_results_captures_failures;
+        Alcotest.test_case "flaky job heals on retry" `Quick test_flaky_retry;
+        Alcotest.test_case "poison is permanent" `Quick test_poison_is_permanent;
+        Alcotest.test_case "seeded faults deterministic" `Quick test_seeded_faults_deterministic;
+        Alcotest.test_case "on_outcome hook" `Quick test_on_outcome_hook;
+        Alcotest.test_case "submit crash-proof" `Quick test_submit_crash_proof;
+        Alcotest.test_case "shutdown drains pending" `Quick test_shutdown_drains_pending;
       ] );
     ( "pool.determinism",
       [

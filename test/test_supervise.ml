@@ -1,0 +1,241 @@
+(* The supervision layer: checkpoint journals, fault-degraded sweeps,
+   resume convergence, and the cycle-fuel watchdog. *)
+
+module Fault = Pv_util.Fault
+module Journal = Pv_util.Journal
+module Supervise = Pv_experiments.Supervise
+module Perf = Pv_experiments.Perf
+module Perf_report = Pv_experiments.Perf_report
+module Schemes = Pv_experiments.Schemes
+module Tab = Pv_util.Tab
+module Lebench = Pv_workloads.Lebench
+
+let check = Alcotest.check
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let temp_journal () =
+  let path = Filename.temp_file "pv_supervise" ".journal" in
+  Sys.remove path;
+  (* Journal.open_writer appends; start from absence like a fresh CLI run. *)
+  path
+
+let with_journal f =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let square_cells n =
+  List.init n (fun i -> Supervise.cell (Printf.sprintf "sq/%d" i) (fun ~fuel:_ -> i * i))
+
+(* --- journal ---------------------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  with_journal (fun path ->
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"a" 1;
+      Journal.append w ~key:"b" 2;
+      Journal.append w ~key:"a" 3 (* last write wins *);
+      Journal.close w;
+      check
+        Alcotest.(list (pair string int))
+        "records in append order"
+        [ ("a", 1); ("b", 2); ("a", 3) ]
+        (Journal.load path);
+      let tbl = Journal.load_table path in
+      check Alcotest.(option int) "last wins" (Some 3) (Hashtbl.find_opt tbl "a");
+      check Alcotest.(option int) "b intact" (Some 2) (Hashtbl.find_opt tbl "b"))
+
+let test_journal_torn_tail () =
+  (* A run killed mid-append leaves a truncated record; loading must keep the
+     valid prefix and drop the tail. *)
+  with_journal (fun path ->
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"done" 42;
+      Journal.close w;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let ch = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+      (* half of a second record *)
+      Out_channel.output_string ch (String.sub full 0 (String.length full / 2));
+      Out_channel.close ch;
+      check
+        Alcotest.(list (pair string int))
+        "valid prefix survives" [ ("done", 42) ] (Journal.load path))
+
+let test_journal_missing_file () =
+  check Alcotest.int "missing journal is empty" 0
+    (Hashtbl.length (Journal.load_table "/nonexistent/pv.journal"))
+
+(* --- supervised sweeps ------------------------------------------------ *)
+
+let test_sweep_clean () =
+  let sweep = Supervise.run (square_cells 6) in
+  check Alcotest.int "no failures" 0 (Supervise.failed sweep);
+  check Alcotest.int "all executed" 6 sweep.Supervise.executed;
+  check Alcotest.int "none restored" 0 sweep.Supervise.restored;
+  check
+    Alcotest.(list (pair string (option int)))
+    "results in declaration order"
+    (List.init 6 (fun i -> (Printf.sprintf "sq/%d" i, Some (i * i))))
+    sweep.Supervise.results;
+  check Alcotest.int "exit code" 0 (Supervise.exit_code [ sweep ])
+
+let test_sweep_degrades_on_fault () =
+  let fault = Fault.plan [ { Fault.index = 2; kind = Fault.Crash; first_attempts = Fault.always } ] in
+  let config = { Supervise.default with jobs = 2; fault } in
+  let sweep = Supervise.run ~config (square_cells 5) in
+  check Alcotest.int "one failure" 1 (Supervise.failed sweep);
+  check Alcotest.(option (option int)) "failed cell is None" (Some None)
+    (List.assoc_opt "sq/2" sweep.Supervise.results);
+  check Alcotest.(option (option int)) "neighbours survive" (Some (Some 9))
+    (List.assoc_opt "sq/3" sweep.Supervise.results);
+  (match sweep.Supervise.failures with
+  | [ f ] ->
+    check Alcotest.string "failure key" "sq/2" f.Supervise.key;
+    Alcotest.(check bool) "reason mentions the injected crash" true
+      (String.length f.Supervise.reason > 0)
+  | _ -> Alcotest.fail "expected exactly one failure record");
+  check Alcotest.int "degraded exit code" 1 (Supervise.exit_code [ sweep ])
+
+let test_sweep_retry_heals_flaky () =
+  let fault = Fault.plan [ { Fault.index = 1; kind = Fault.Crash; first_attempts = 1 } ] in
+  let config = { Supervise.default with fault; retries = 1 } in
+  let sweep = Supervise.run ~config (square_cells 3) in
+  check Alcotest.int "no failures after retry" 0 (Supervise.failed sweep);
+  check Alcotest.(option (option int)) "flaky cell healed" (Some (Some 1))
+    (List.assoc_opt "sq/1" sweep.Supervise.results)
+
+let test_duplicate_keys_rejected () =
+  let cells = [ Supervise.cell "dup" (fun ~fuel:_ -> 0); Supervise.cell "dup" (fun ~fuel:_ -> 1) ] in
+  Alcotest.check_raises "duplicate keys" (Invalid_argument "Supervise.run: duplicate cell keys")
+    (fun () -> ignore (Supervise.run cells))
+
+let test_checkpoint_resume_roundtrip () =
+  with_journal (fun path ->
+      (* First run: cell 3 crashes persistently; the other five checkpoint. *)
+      let fault = Fault.plan [ { Fault.index = 3; kind = Fault.Crash; first_attempts = Fault.always } ] in
+      let first =
+        Supervise.run
+          ~config:{ Supervise.default with jobs = 2; fault; checkpoint = Some path }
+          (square_cells 6)
+      in
+      check Alcotest.int "first run fails one cell" 1 (Supervise.failed first);
+      (* Resume without the fault: only the failed cell re-runs. *)
+      let resumed =
+        Supervise.run
+          ~config:{ Supervise.default with checkpoint = Some path; resume = true }
+          (square_cells 6)
+      in
+      check Alcotest.int "five restored" 5 resumed.Supervise.restored;
+      check Alcotest.int "one executed" 1 resumed.Supervise.executed;
+      check Alcotest.int "resumed run clean" 0 (Supervise.failed resumed);
+      let clean = Supervise.run (square_cells 6) in
+      Alcotest.(check bool) "resumed results converge to the uninterrupted run" true
+        (resumed.Supervise.results = clean.Supervise.results))
+
+let test_resume_without_journal_runs_everything () =
+  let config = { Supervise.default with checkpoint = None; resume = true } in
+  let sweep = Supervise.run ~config (square_cells 4) in
+  check Alcotest.int "nothing restored" 0 sweep.Supervise.restored;
+  check Alcotest.int "everything executed" 4 sweep.Supervise.executed
+
+(* --- the cycle-fuel watchdog ------------------------------------------ *)
+
+let test_watchdog_fires_on_starved_fuel () =
+  (* A real (scaled-down) simulation with a tiny cycle budget must end in
+     the structured timeout, not a hang or an unstructured error. *)
+  match Perf.run_lebench ~scale:0.2 ~fuel:2_000 Schemes.perspective (Lebench.find "select") with
+  | _ -> Alcotest.fail "expected Run_timeout"
+  | exception Pv_sim.Machine.Run_timeout { cycles; _ } ->
+    check Alcotest.int "watchdog fired at the budget" 2_000 cycles
+
+let test_livelock_fault_hits_watchdog () =
+  (* A Livelock-faulted cell is starved of fuel by the supervisor and must
+     degrade to a per-cell failure whose reason is the watchdog timeout. *)
+  let fault = Fault.plan [ { Fault.index = 0; kind = Fault.Livelock; first_attempts = Fault.always } ] in
+  let config = { Supervise.default with fault; livelock_fuel = 2_000 } in
+  let cells =
+    Perf.lebench_cells ~scale:0.2 ~tests:[ Lebench.find "select" ]
+      ~variants:[ Schemes.unsafe ] ()
+  in
+  let sweep = Supervise.run ~config cells in
+  match sweep.Supervise.failures with
+  | [ f ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "reason is a watchdog timeout: %s" f.Supervise.reason)
+      true
+      (contains ~sub:"watchdog timeout" f.Supervise.reason)
+  | _ -> Alcotest.fail "expected exactly one livelocked failure"
+
+(* --- the acceptance scenario at the library level --------------------- *)
+
+let test_perf_sweep_fault_then_resume_converges () =
+  (* Fault-injected perf sweep (one crashed cell, one livelocked cell) with a
+     checkpoint, then a resume: the resumed figure must be byte-identical to
+     an uninterrupted serial run's. *)
+  with_journal (fun path ->
+      let tests = [ Lebench.find "select" ] in
+      let variants = [ Schemes.unsafe; Schemes.fence; Schemes.perspective ] in
+      let labels = List.map (fun v -> v.Schemes.label) variants in
+      let names = List.map (fun (t : Lebench.test) -> t.Lebench.name) tests in
+      let width = List.length variants in
+      let cells () = Perf.lebench_cells ~scale:0.2 ~tests ~variants () in
+      let render sweep =
+        Tab.to_string
+          (Perf_report.fig_lebench_partial ~labels (Perf.matrix_of_sweep ~names ~width sweep))
+      in
+      let fault =
+        Fault.plan
+          [
+            { Fault.index = 1; kind = Fault.Livelock; first_attempts = Fault.always };
+            { Fault.index = 2; kind = Fault.Crash; first_attempts = Fault.always };
+          ]
+      in
+      let faulted =
+        Supervise.run
+          ~config:{ Supervise.default with jobs = 2; fault; checkpoint = Some path; livelock_fuel = 2_000 }
+          (cells ())
+      in
+      check Alcotest.int "two cells failed" 2 (Supervise.failed faulted);
+      Alcotest.(check bool) "degraded figure marks them" true
+        (contains ~sub:"FAILED" (render faulted));
+      let resumed =
+        Supervise.run
+          ~config:{ Supervise.default with checkpoint = Some path; resume = true }
+          (cells ())
+      in
+      check Alcotest.int "only the failed cells re-ran" 2 resumed.Supervise.executed;
+      let clean = Supervise.run (cells ()) in
+      check Alcotest.string "resumed figure bytes = uninterrupted serial run"
+        (render clean) (render resumed))
+
+let suite =
+  [
+    ( "supervise.journal",
+      [
+        Alcotest.test_case "append/load round-trip" `Quick test_journal_roundtrip;
+        Alcotest.test_case "torn tail dropped" `Quick test_journal_torn_tail;
+        Alcotest.test_case "missing file" `Quick test_journal_missing_file;
+      ] );
+    ( "supervise.sweeps",
+      [
+        Alcotest.test_case "clean sweep" `Quick test_sweep_clean;
+        Alcotest.test_case "fault degrades one cell" `Quick test_sweep_degrades_on_fault;
+        Alcotest.test_case "retry heals flaky cell" `Quick test_sweep_retry_heals_flaky;
+        Alcotest.test_case "duplicate keys rejected" `Quick test_duplicate_keys_rejected;
+        Alcotest.test_case "checkpoint/resume round-trip" `Quick test_checkpoint_resume_roundtrip;
+        Alcotest.test_case "resume without journal" `Quick test_resume_without_journal_runs_everything;
+      ] );
+    ( "supervise.watchdog",
+      [
+        Alcotest.test_case "starved fuel times out" `Slow test_watchdog_fires_on_starved_fuel;
+        Alcotest.test_case "livelock fault hits watchdog" `Slow test_livelock_fault_hits_watchdog;
+      ] );
+    ( "supervise.acceptance",
+      [
+        Alcotest.test_case "fault, checkpoint, resume, converge" `Slow
+          test_perf_sweep_fault_then_resume_converges;
+      ] );
+  ]
