@@ -27,6 +27,10 @@ let run_bechamel = ref true
 
 let csv_dir : string option ref = ref None
 
+let metrics_file : string option ref = ref None
+
+let trace_dir : string option ref = ref None
+
 let maybe_csv name tab =
   match !csv_dir with
   | Some dir -> Tab.save_csv tab (Filename.concat dir (name ^ ".csv"))
@@ -112,8 +116,49 @@ let perf_sections () =
     (* stderr, so stdout stays byte-identical for every -j value *)
     Printf.eprintf "\n(running the cycle-level performance matrices, scale=%.2f, -j %d...)\n%!"
       !scale !jobs;
+    let t0 = Unix.gettimeofday () in
     let micro = E.Perf.lebench_matrix ~scale:!scale ~jobs:!jobs ~variants () in
     let macro = E.Perf.apps_matrix ~scale:!scale ~jobs:!jobs ~variants () in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (* Telemetry export: per-cell snapshots keyed like the supervised sweeps
+       ("<family>/<workload>/<scheme>"), plus per-family summaries. *)
+    (match !metrics_file with
+    | Some file ->
+      let cells_of family matrix =
+        List.concat_map
+          (fun (name, runs) ->
+            List.map
+              (fun r ->
+                ( Printf.sprintf "%s/%s/%s" family name r.E.Perf.label,
+                  Some r.E.Perf.metrics ))
+              runs)
+          matrix
+      in
+      E.Supervise.write_json ~file
+        [
+          E.Supervise.export_cells ~elapsed ~label:"lebench" (cells_of "lebench" micro);
+          E.Supervise.export_cells ~elapsed ~label:"apps" (cells_of "apps" macro);
+        ]
+    | None -> ());
+    (match !trace_dir with
+    | Some dir ->
+      (* The unsupervised matrices run untraced (tracing is a per-cell knob
+         on the supervised path); re-run one representative traced cell so
+         the harness still exercises the JSONL dump end to end. *)
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let r =
+        E.Perf.run_lebench ~scale:(Float.min !scale 0.3) ~trace:true
+          E.Schemes.perspective
+          (Pv_workloads.Lebench.find "poll")
+      in
+      let oc = open_out (Filename.concat dir "lebench_poll_PERSPECTIVE.jsonl") in
+      List.iter
+        (fun ev ->
+          output_string oc (Pv_uarch.Pipeline.event_to_json ev);
+          output_char oc '\n')
+        r.E.Perf.events;
+      close_out oc
+    | None -> ());
     section "fig-9.2" "LEBench normalized latency" (fun () ->
         let tab = E.Perf_report.fig_lebench micro in
         Tab.print tab;
@@ -124,7 +169,8 @@ let perf_sections () =
         maybe_csv "fig-9.3" tab;
         Tab.print (E.Perf_report.kernel_time_table macro));
     section "table-10.1" "Fence breakdown (ISV vs DSV)" (fun () ->
-        Tab.print (E.Perf_report.fence_breakdown (micro @ macro)));
+        Tab.print (E.Perf_report.fence_breakdown (micro @ macro));
+        Tab.print (E.Perf_report.stall_breakdown (micro @ macro)));
     section "comparisons" "Spot and hardware mitigation comparison" (fun () ->
         Tab.print (E.Perf_report.comparison_summary ~micro ~macro));
     section "sensitivity" "9.2 sensitivity analyses" (fun () ->
@@ -261,10 +307,17 @@ let () =
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       csv_dir := Some dir;
       parse rest
+    | "--metrics" :: file :: rest ->
+      metrics_file := Some file;
+      parse rest
+    | "--trace-dir" :: dir :: rest ->
+      trace_dir := Some dir;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
          usage: main.exe [--quick] [--scale F] [--only LABEL] [-j N] [--no-bechamel] [--csv DIR]\n\
+        \       [--metrics FILE.json] [--trace-dir DIR]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
         \        fig-9.1 fig-9.2 fig-9.3 poc-attacks comparisons sensitivity\n"
         arg;

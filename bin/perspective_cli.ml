@@ -171,6 +171,51 @@ let sup_config sup ~jobs =
     resume = sup.resume;
   }
 
+(* --- telemetry flags (perf) --- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export every cell's metric snapshot plus per-sweep summaries as JSON to \
+           $(docv).  Deterministic: for a fixed workload the file is byte-identical \
+           for any -j once the single wall-clock member is stripped \
+           ($(b,grep -v '\"elapsed_s\"')).")
+
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Record the pipeline's bounded event trace (squashes, fences, VP releases \
+           with cycle stamps) for every cell and dump one JSONL file per cell into \
+           $(docv).")
+
+let write_traces ~dir (sweep : _ E.Supervise.sweep) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun (key, run) ->
+      match run with
+      | None -> ()
+      | Some r ->
+        let file =
+          Filename.concat dir
+            (String.map (fun c -> if c = '/' then '_' else c) key ^ ".jsonl")
+        in
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun ev ->
+                output_string oc (Pv_uarch.Pipeline.event_to_json ev);
+                output_char oc '\n')
+              r.E.Perf.events))
+    sweep.E.Supervise.results
+
 (* --- attack --- *)
 
 let attack_kinds = [ "v1"; "v2"; "rsb"; "all" ]
@@ -256,7 +301,7 @@ let perf_cmd =
       & info [ "w"; "workload" ] ~docv:"NAME"
           ~doc:"One LEBench test or app name; default: everything.")
   in
-  let run workload scheme seed scale jobs sup =
+  let run workload scheme seed scale jobs sup metrics_file trace_dir =
     let variants =
       match scheme with
       | Some s ->
@@ -285,13 +330,28 @@ let perf_cmd =
       (* The two sweeps share the checkpoint journal (their key spaces are
          disjoint), so the stale-journal removal must happen exactly once. *)
       let config = sup_config sup ~jobs in
+      let trace = trace_dir <> None in
       let labels = List.map (fun v -> v.E.Schemes.label) variants in
       let width = List.length variants in
       let sweeps = ref [] in
+      let exports = ref [] in
+      let supervised ~label cells =
+        let t0 = Unix.gettimeofday () in
+        let sweep = E.Supervise.run ~config cells in
+        (if metrics_file <> None then
+           let elapsed = Unix.gettimeofday () -. t0 in
+           exports :=
+             E.Supervise.export ~elapsed
+               ~metrics_of:(fun r -> r.E.Perf.metrics)
+               ~label sweep
+             :: !exports);
+        Option.iter (fun dir -> write_traces ~dir sweep) trace_dir;
+        sweep
+      in
       if micro_tests <> [] then begin
         let sweep =
-          E.Supervise.run ~config
-            (E.Perf.lebench_cells ~seed ~scale ~tests:micro_tests ~variants ())
+          supervised ~label:"lebench"
+            (E.Perf.lebench_cells ~seed ~scale ~trace ~tests:micro_tests ~variants ())
         in
         let names = List.map (fun t -> t.Pv_workloads.Lebench.name) micro_tests in
         Tab.print
@@ -302,7 +362,8 @@ let perf_cmd =
       end;
       if apps <> [] then begin
         let sweep =
-          E.Supervise.run ~config (E.Perf.apps_cells ~seed ~scale ~apps ~variants ())
+          supervised ~label:"apps"
+            (E.Perf.apps_cells ~seed ~scale ~trace ~apps ~variants ())
         in
         let names = List.map (fun a -> a.Pv_workloads.Apps.name) apps in
         Tab.print
@@ -311,13 +372,16 @@ let perf_cmd =
         E.Supervise.report ~label:"apps" sweep;
         sweeps := sweep :: !sweeps
       end;
+      Option.iter (fun file -> E.Supervise.write_json ~file (List.rev !exports)) metrics_file;
       E.Supervise.exit_code !sweeps
     end
   in
   let doc = "Cycle-level performance runs (Figures 9.2/9.3)." in
   Cmd.v
     (Cmd.info "perf" ~doc)
-    Term.(const run $ workload $ scheme_arg $ seed_arg $ scale_arg $ jobs_arg $ sup_term)
+    Term.(
+      const run $ workload $ scheme_arg $ seed_arg $ scale_arg $ jobs_arg $ sup_term
+      $ metrics_arg $ trace_dir_arg)
 
 (* --- small static commands --- *)
 

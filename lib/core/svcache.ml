@@ -97,10 +97,22 @@ let flush t = Array.iter (fun set -> Array.iter (fun e -> e.valid <- false) set)
 
 let hits t = t.hits
 let misses t = t.misses
+let accesses t = t.hits + t.misses
 
 let hit_rate t =
   let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  if total = 0 then None else Some (float_of_int t.hits /. float_of_int total)
+
+let observe_metrics reg ~prefix t =
+  let open Pv_util in
+  Metrics.set_int reg (prefix ^ ".hits") t.hits;
+  Metrics.set_int reg (prefix ^ ".misses") t.misses;
+  Metrics.set_int reg (prefix ^ ".accesses") (accesses t);
+  (* hit_rate is only meaningful once the cache has been probed; an absent
+     key is the snapshot-level rendering of "no accesses". *)
+  match hit_rate t with
+  | Some r -> Metrics.set_float reg (prefix ^ ".hit_rate") r
+  | None -> ()
 
 let reset_stats t =
   t.hits <- 0;

@@ -31,5 +31,16 @@ val invalidate : t -> int -> unit
 val flush : t -> unit
 val hits : t -> int
 val misses : t -> int
-val hit_rate : t -> float
+
+val accesses : t -> int
+(** [hits + misses]. *)
+
+val hit_rate : t -> float option
+(** [None] on an untouched cache — distinguishable from [Some 0.]
+    (a 100%-miss cache), which the §9.2 reporting must not conflate. *)
+
+val observe_metrics : Pv_util.Metrics.t -> prefix:string -> t -> unit
+(** Register [<prefix>.hits], [<prefix>.misses], [<prefix>.accesses] and —
+    only when the cache has been accessed — [<prefix>.hit_rate]. *)
+
 val reset_stats : t -> unit

@@ -15,14 +15,16 @@ type run = {
   committed : int;
   counters : Pipeline.counters;
   kernel_cycle_fraction : float;
-  isv_hit_rate : float;
-  dsv_hit_rate : float;
+  isv_hit_rate : float option;  (* None: the cache was never accessed *)
+  dsv_hit_rate : float option;
   slab_utilization : float;
   slab_frees : int;
   slab_page_returns : int;
   isv_pages_populated : int;
   isv_metadata_bytes : int;
   units : int;
+  metrics : Pv_util.Metrics.snapshot;
+  events : Pipeline.event list;  (* [] unless the cell ran with ~trace:true *)
 }
 
 let fences_per_kiloinstr run =
@@ -37,9 +39,10 @@ let profile_reps = 25
    parallel matrices below ship these to worker domains.  [fuel] is the
    supervisor's cycle budget; a run that exhausts it raises the structured
    Machine.Run_timeout instead of spinning forever. *)
-let execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~iterations
-    ~user_work ~workload_name (variant : Schemes.variant) =
+let execute ?fuel ?(trace = false) ~seed ~block_unknown ~view_cache_entries ~syscalls
+    ~sequence ~iterations ~user_work ~workload_name (variant : Schemes.variant) =
   let pipe_config = variant.Schemes.transform Pipeline.default_config in
+  let pipe_config = { pipe_config with Pipeline.trace_events = trace } in
   let plant_gadgets =
     match variant.Schemes.scheme with
     | Defense.Perspective Perspective.Isv.Plus -> true
@@ -60,7 +63,7 @@ let execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~
   let hit_rate cache_of =
     match Machine.defense m with
     | Some d -> Svcache.hit_rate (cache_of d)
-    | None -> 0.0
+    | None -> None
   in
   let ctx = Pv_kernel.Process.cgroup (Machine.process h) in
   let pages, meta_bytes =
@@ -70,6 +73,25 @@ let execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~
         Perspective.Isv_pages.metadata_bytes (Defense.isv_pages d) ~ctx )
     | None -> (0, 0)
   in
+  (* One registry per cell: everything in it is a function of the (pure)
+     job inputs, so the snapshot obeys the -j byte-identity contract. *)
+  let reg = Pv_util.Metrics.create () in
+  Pipeline.observe_metrics reg delta;
+  (match Machine.defense m with
+  | Some d ->
+    Svcache.observe_metrics reg ~prefix:"svcache.isv" (Defense.isv_cache d);
+    Svcache.observe_metrics reg ~prefix:"svcache.dsv" (Defense.dsv_cache d)
+  | None -> ());
+  Pv_util.Metrics.set_float reg "slab.secure.utilization" (Slab.utilization slab);
+  Pv_util.Metrics.set_int reg "slab.secure.active_bytes" (Slab.active_bytes slab);
+  Pv_util.Metrics.set_int reg "slab.secure.frag_bytes"
+    (Slab.slab_bytes slab - Slab.active_bytes slab);
+  Pv_util.Metrics.set_int reg "slab.secure.frees" (Slab.total_frees slab);
+  Pv_util.Metrics.set_int reg "slab.secure.page_returns" (Slab.page_returns slab);
+  Pv_util.Metrics.set_int reg "slab.secure.peak_pages" (Slab.peak_pages slab);
+  Pv_util.Metrics.set_int reg "isv_pages.populated" pages;
+  Pv_util.Metrics.set_int reg "isv_pages.metadata_bytes" meta_bytes;
+  Pv_util.Metrics.set_int reg "workload.units" iterations;
   {
     label = variant.Schemes.label;
     workload = workload_name;
@@ -87,21 +109,25 @@ let execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls ~sequence ~
     isv_pages_populated = pages;
     isv_metadata_bytes = meta_bytes;
     units = iterations;
+    metrics = Pv_util.Metrics.snapshot reg;
+    events = (if trace then Pipeline.events (Machine.pipeline m) else []);
   }
 
 let run_lebench ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
-    ?(view_cache_entries = 128) ?fuel variant test =
+    ?(view_cache_entries = 128) ?fuel ?trace variant test =
   let test = Lebench.scaled test ~factor:scale in
-  execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls:Lebench.all_syscalls
-    ~sequence:test.Lebench.sequence ~iterations:test.Lebench.iterations
-    ~user_work:test.Lebench.user_work ~workload_name:test.Lebench.name variant
+  execute ?fuel ?trace ~seed ~block_unknown ~view_cache_entries
+    ~syscalls:Lebench.all_syscalls ~sequence:test.Lebench.sequence
+    ~iterations:test.Lebench.iterations ~user_work:test.Lebench.user_work
+    ~workload_name:test.Lebench.name variant
 
 let run_app ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
-    ?(view_cache_entries = 128) ?fuel variant app =
+    ?(view_cache_entries = 128) ?fuel ?trace variant app =
   let app = Apps.scaled app ~factor:scale in
-  execute ?fuel ~seed ~block_unknown ~view_cache_entries ~syscalls:Apps.all_syscalls
-    ~sequence:app.Apps.request ~iterations:app.Apps.requests
-    ~user_work:app.Apps.user_work ~workload_name:app.Apps.name variant
+  execute ?fuel ?trace ~seed ~block_unknown ~view_cache_entries
+    ~syscalls:Apps.all_syscalls ~sequence:app.Apps.request
+    ~iterations:app.Apps.requests ~user_work:app.Apps.user_work
+    ~workload_name:app.Apps.name variant
 
 (* Deterministic merge: jobs are declared row-major (workload outer, variant
    inner) and Pool.map returns results in declaration order, so the
@@ -143,25 +169,26 @@ let apps_matrix ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(apps = Apps.all) ~vari
 
 (* Cell keys are stable identities: "<family>/<workload>/<scheme label>".
    They key the checkpoint journal, so renaming one invalidates resumes. *)
-let lebench_cells ?(seed = 42) ?(scale = 1.0) ?(tests = Lebench.tests) ~variants () =
+let lebench_cells ?(seed = 42) ?(scale = 1.0) ?trace ?(tests = Lebench.tests) ~variants
+    () =
   List.concat_map
     (fun t ->
       List.map
         (fun v ->
           Supervise.cell
             (Printf.sprintf "lebench/%s/%s" t.Lebench.name v.Schemes.label)
-            (fun ~fuel -> run_lebench ~seed ~scale ?fuel v t))
+            (fun ~fuel -> run_lebench ~seed ~scale ?fuel ?trace v t))
         variants)
     tests
 
-let apps_cells ?(seed = 42) ?(scale = 1.0) ?(apps = Apps.all) ~variants () =
+let apps_cells ?(seed = 42) ?(scale = 1.0) ?trace ?(apps = Apps.all) ~variants () =
   List.concat_map
     (fun a ->
       List.map
         (fun v ->
           Supervise.cell
             (Printf.sprintf "apps/%s/%s" a.Apps.name v.Schemes.label)
-            (fun ~fuel -> run_app ~seed ~scale ?fuel v a))
+            (fun ~fuel -> run_app ~seed ~scale ?fuel ?trace v a))
         variants)
     apps
 

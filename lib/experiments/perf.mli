@@ -13,14 +13,22 @@ type run = {
   committed : int;
   counters : Pv_uarch.Pipeline.counters;
   kernel_cycle_fraction : float;
-  isv_hit_rate : float;
-  dsv_hit_rate : float;
+  isv_hit_rate : float option;
+      (** [None] when the ISV cache was never accessed (e.g. UNSAFE) —
+          distinct from [Some 0.], a 100%-miss cache *)
+  dsv_hit_rate : float option;
   slab_utilization : float;
   slab_frees : int;
   slab_page_returns : int;
   isv_pages_populated : int;  (** demand-populated ISV metadata pages *)
   isv_metadata_bytes : int;
   units : int;  (** iterations (LEBench) or requests (apps) *)
+  metrics : Pv_util.Metrics.snapshot;
+      (** the cell's full telemetry ([pipeline.*], [svcache.*],
+          [slab.secure.*], [isv_pages.*], [workload.*]) — pure function of
+          the job inputs, so byte-identical for any [-j] *)
+  events : Pv_uarch.Pipeline.event list;
+      (** cycle-stamped trace, [[]] unless the run was traced *)
 }
 
 val fences_per_kiloinstr : run -> float * float
@@ -32,11 +40,13 @@ val run_lebench :
   ?block_unknown:bool ->
   ?view_cache_entries:int ->
   ?fuel:int ->
+  ?trace:bool ->
   Schemes.variant ->
   Pv_workloads.Lebench.test ->
   run
 (** [fuel] bounds the run's cycles (default: the machine watchdog); a run
-    that exhausts it raises {!Pv_sim.Machine.Run_timeout}. *)
+    that exhausts it raises {!Pv_sim.Machine.Run_timeout}.  [trace] turns on
+    the pipeline's bounded event ring and fills the run's [events]. *)
 
 val run_app :
   ?seed:int ->
@@ -44,6 +54,7 @@ val run_app :
   ?block_unknown:bool ->
   ?view_cache_entries:int ->
   ?fuel:int ->
+  ?trace:bool ->
   Schemes.variant ->
   Pv_workloads.Apps.app ->
   run
@@ -83,6 +94,7 @@ val apps_matrix :
 val lebench_cells :
   ?seed:int ->
   ?scale:float ->
+  ?trace:bool ->
   ?tests:Pv_workloads.Lebench.test list ->
   variants:Schemes.variant list ->
   unit ->
@@ -92,6 +104,7 @@ val lebench_cells :
 val apps_cells :
   ?seed:int ->
   ?scale:float ->
+  ?trace:bool ->
   ?apps:Pv_workloads.Apps.app list ->
   variants:Schemes.variant list ->
   unit ->

@@ -196,6 +196,44 @@ let fence_breakdown matrix =
      fences per kilo-instruction.";
   tab
 
+let stall_breakdown matrix =
+  let labels = labels_of matrix in
+  let tab =
+    Tab.create
+      ~title:"Table 10.1 (ext): Stall-cycle attribution per scheme (summed over workloads)"
+      ~header:
+        (("Config", Tab.Left)
+        :: List.map
+             (fun (name, _) -> (name, Tab.Right))
+             (Pipeline.stall_classes (Pipeline.zero_counters ()))
+        @ [ ("total stalls", Tab.Right); ("of cycles", Tab.Right) ])
+  in
+  List.iteri
+    (fun i label ->
+      let acc = Pipeline.zero_counters () in
+      List.iter
+        (fun (_, runs) -> Pipeline.add_counters acc (List.nth runs i).Perf.counters)
+        matrix;
+      let total = acc.Pipeline.stall_total in
+      let share v =
+        if total = 0 then "-" else Tab.pct (Stats.ratio_pct ~num:v ~den:total)
+      in
+      let of_cycles =
+        if acc.Pipeline.cycles = 0 then "-"
+        else Tab.pct (Stats.ratio_pct ~num:total ~den:acc.Pipeline.cycles)
+      in
+      Tab.row tab
+        (label
+        :: List.map (fun (_, v) -> share v) (Pipeline.stall_classes acc)
+        @ [ string_of_int total; of_cycles ]))
+    labels;
+  Tab.caption tab
+    "Every zero-commit cycle is charged to exactly one class (DESIGN.md §7), \
+     so the class shares sum to 100% of total stalls; fence_isv/fence_dsv are \
+     the cycles the schemes' view misses actually cost, complementing the \
+     fence counts above.";
+  tab
+
 let comparison_summary ~micro ~macro =
   let tab =
     Tab.create ~title:"9.1: Average execution overhead vs UNSAFE (micro / macro)"

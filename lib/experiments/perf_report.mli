@@ -33,6 +33,13 @@ val fence_breakdown : (string * Perf.run list) list -> Pv_util.Tab.t
 (** Table 10.1: per Perspective variant, the ISV/DSV share of fences and the
     fences per kilo-instruction, averaged over the workloads. *)
 
+val stall_breakdown : (string * Perf.run list) list -> Pv_util.Tab.t
+(** Table 10.1 extension: per scheme, the share of stall (zero-commit)
+    cycles attributed to each class ({e fetch}, {e rob_full}, {e lsq},
+    {e fence_isv}, {e fence_dsv}, {e fence_baseline}, {e dram}, {e exec}),
+    summed over the workloads.  The classes partition the stall cycles, so
+    shares sum to 100%. *)
+
 val comparison_summary :
   micro:(string * Perf.run list) list ->
   macro:(string * Perf.run list) list ->

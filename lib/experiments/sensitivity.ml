@@ -14,14 +14,21 @@ let hit_rates ~micro ~macro =
       ~header:
         [ ("Workloads", Tab.Left); ("ISV cache", Tab.Right); ("DSV cache", Tab.Right) ]
   in
+  (* A cache that was never accessed (hit_rate = None) contributes no sample;
+     a row with no samples at all renders "n/a", not a fake 0%. *)
+  let mean_rate get rs =
+    match List.filter_map get rs with
+    | [] -> "n/a"
+    | rates -> Tab.pct (100.0 *. Stats.mean rates)
+  in
   let add name matrix =
     let rs = List.concat_map (fun (_, runs) -> perspective_runs runs) matrix in
     if rs <> [] then
       Tab.row tab
         [
           name;
-          Tab.pct (100.0 *. Stats.mean (List.map (fun r -> r.Perf.isv_hit_rate) rs));
-          Tab.pct (100.0 *. Stats.mean (List.map (fun r -> r.Perf.dsv_hit_rate) rs));
+          mean_rate (fun r -> r.Perf.isv_hit_rate) rs;
+          mean_rate (fun r -> r.Perf.dsv_hit_rate) rs;
         ]
   in
   add "LEBench" micro;
@@ -245,14 +252,20 @@ let cache_size_table rows =
     (fun (key, point) ->
       match point with
       | Some (entries, ub, pb, ua, pa) ->
+        (* "n/a": the cache was never accessed, which is not a 0% hit rate *)
+        let rate = function
+          | Some r -> Printf.sprintf "%.1f%%" (100.0 *. r)
+          | None -> "n/a"
+        in
+        let rates r =
+          Printf.sprintf "%s / %s" (rate r.Perf.isv_hit_rate) (rate r.Perf.dsv_hit_rate)
+        in
         Tab.row tab
           [
             string_of_int entries;
-            Printf.sprintf "%.1f%% / %.1f%%" (100.0 *. pb.Perf.isv_hit_rate)
-              (100.0 *. pb.Perf.dsv_hit_rate);
+            rates pb;
             Tab.pct (Perf.overhead_pct ~baseline:ub pb);
-            Printf.sprintf "%.1f%% / %.1f%%" (100.0 *. pa.Perf.isv_hit_rate)
-              (100.0 *. pa.Perf.dsv_hit_rate);
+            rates pa;
             Tab.pct ((1.0 -. Perf.normalized_throughput ~baseline:ua pa) *. 100.0);
           ]
       | None ->

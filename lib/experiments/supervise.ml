@@ -115,6 +115,79 @@ let failed s = List.length s.failures
 
 let exit_code sweeps = if List.exists (fun s -> failed s > 0) sweeps then 1 else 0
 
+(* --- telemetry export ------------------------------------------------- *)
+
+module Metrics = Pv_util.Metrics
+
+type exported = {
+  label : string;
+  cells : (string * Metrics.snapshot option) list;
+  summary : Metrics.snapshot;
+}
+
+(* The sweep-level registry: cell counts plus a log2 histogram of per-cell
+   cycle costs read back from each cell's own snapshot.  [elapsed] is the
+   only wall-clock datum in an export; it renders on its own JSON line so
+   byte-identity checks can strip it with grep. *)
+let summary_snapshot ?elapsed ~restored ~executed cells =
+  let reg = Metrics.create () in
+  Metrics.set_int reg "supervise.cells" (List.length cells);
+  Metrics.set_int reg "supervise.restored" restored;
+  Metrics.set_int reg "supervise.executed" executed;
+  Metrics.set_int reg "supervise.failed"
+    (List.length (List.filter (fun (_, s) -> s = None) cells));
+  Metrics.declare_hist reg "supervise.cell_cycles";
+  List.iter
+    (fun (_, snap) ->
+      match snap with
+      | Some s -> (
+        match Metrics.find s "pipeline.cycles" with
+        | Some (Metrics.Int c) -> Metrics.observe reg "supervise.cell_cycles" c
+        | Some _ | None -> ())
+      | None -> ())
+    cells;
+  Option.iter (fun e -> Metrics.set_float reg "elapsed_s" e) elapsed;
+  Metrics.snapshot reg
+
+let export_cells ?elapsed ?(restored = 0) ?executed ~label cells =
+  let executed =
+    match executed with Some e -> e | None -> List.length cells - restored
+  in
+  { label; cells; summary = summary_snapshot ?elapsed ~restored ~executed cells }
+
+let export ?elapsed ~metrics_of ~label s =
+  export_cells ?elapsed ~restored:s.restored ~executed:s.executed ~label
+    (List.map (fun (k, v) -> (k, Option.map metrics_of v)) s.results)
+
+let render_json exports =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"sweeps\": {\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" e.label);
+      Buffer.add_string buf "      \"summary\": ";
+      Buffer.add_string buf (Metrics.snapshot_to_json ~indent:8 e.summary);
+      Buffer.add_string buf ",\n      \"cells\": {\n";
+      List.iteri
+        (fun j (k, snap) ->
+          if j > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (Printf.sprintf "        %S: " k);
+          match snap with
+          | None -> Buffer.add_string buf "null"
+          | Some s -> Buffer.add_string buf (Metrics.snapshot_to_json ~indent:10 s))
+        e.cells;
+      Buffer.add_string buf "\n      }\n    }")
+    exports;
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+let write_json ~file exports =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render_json exports))
+
 let report ?(out = stderr) ~label s =
   Printf.fprintf out "%s: %d cells, %d restored from checkpoint, %d executed, %d failed\n"
     label

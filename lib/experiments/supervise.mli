@@ -71,3 +71,43 @@ val exit_code : _ sweep list -> int
 val report : ?out:out_channel -> label:string -> _ sweep -> unit
 (** Print the failure report (one summary line; one line per failed cell)
     to [out] (default [stderr]). *)
+
+(** {1 Telemetry export}
+
+    A sweep's per-cell metric snapshots plus a sweep-level summary
+    (cell/restored/executed/failed counts and a log2 histogram of per-cell
+    [pipeline.cycles]), rendered as deterministic JSON for [--metrics].
+    The only wall-clock datum is the optional [elapsed] seconds, which
+    renders as an ["elapsed_s"] member on its own line so byte-identity
+    checks can strip it (e.g. [grep -v '"elapsed_s"']); everything else is
+    identical for any [-j]. *)
+
+type exported = {
+  label : string;  (** sweep name, e.g. ["lebench"] *)
+  cells : (string * Pv_util.Metrics.snapshot option) list;
+      (** declaration order; [None] = the cell failed *)
+  summary : Pv_util.Metrics.snapshot;
+}
+
+val export :
+  ?elapsed:float ->
+  metrics_of:('a -> Pv_util.Metrics.snapshot) ->
+  label:string ->
+  'a sweep ->
+  exported
+
+val export_cells :
+  ?elapsed:float ->
+  ?restored:int ->
+  ?executed:int ->
+  label:string ->
+  (string * Pv_util.Metrics.snapshot option) list ->
+  exported
+(** Build an export directly from keyed snapshots (for unsupervised
+    matrices); [executed] defaults to [cells - restored]. *)
+
+val render_json : exported list -> string
+(** The [--metrics] JSON document ([{"sweeps": {<label>: {"summary": ...,
+    "cells": ...}}}]), deterministic bytes. *)
+
+val write_json : file:string -> exported list -> unit

@@ -71,6 +71,8 @@ let nodes_of_kind t kind =
 let in_scope t scope = List.filter (fun g -> Bitset.mem scope g.node) t.all
 
 let excluded_pct t kind scope =
-  let of_kind = List.filter (fun g -> g.kind = kind) t.all in
-  let blocked = List.filter (fun g -> not (Bitset.mem scope g.node)) of_kind in
-  Pv_util.Stats.ratio_pct ~num:(List.length blocked) ~den:(List.length of_kind)
+  match List.filter (fun g -> g.kind = kind) t.all with
+  | [] -> 0.0 (* no gadgets of this kind: nothing is in scope to exclude *)
+  | of_kind ->
+      let blocked = List.filter (fun g -> not (Bitset.mem scope g.node)) of_kind in
+      Pv_util.Stats.ratio_pct ~num:(List.length blocked) ~den:(List.length of_kind)

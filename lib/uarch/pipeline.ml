@@ -19,6 +19,8 @@ type config = {
   kernel_entry_cycles : int;
   kernel_exit_cycles : int;
   max_cycles : int;
+  trace_events : bool;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -37,6 +39,8 @@ let default_config =
     kernel_entry_cycles = 120;
     kernel_exit_cycles = 90;
     max_cycles = 20_000_000;
+    trace_events = false;
+    trace_capacity = 4096;
   }
 
 type counters = {
@@ -53,6 +57,17 @@ type counters = {
   mutable fences_isv : int;
   mutable fences_dsv : int;
   mutable fences_baseline : int;
+  (* Stall attribution: every zero-commit cycle of a live run is charged to
+     exactly one class, so the eight classes sum to [stall_total]. *)
+  mutable stall_total : int;
+  mutable stall_fetch : int;
+  mutable stall_rob_full : int;
+  mutable stall_lsq : int;
+  mutable stall_fence_isv : int;
+  mutable stall_fence_dsv : int;
+  mutable stall_fence_baseline : int;
+  mutable stall_dram : int;
+  mutable stall_exec : int;
 }
 
 let zero_counters () =
@@ -70,6 +85,15 @@ let zero_counters () =
     fences_isv = 0;
     fences_dsv = 0;
     fences_baseline = 0;
+    stall_total = 0;
+    stall_fetch = 0;
+    stall_rob_full = 0;
+    stall_lsq = 0;
+    stall_fence_isv = 0;
+    stall_fence_dsv = 0;
+    stall_fence_baseline = 0;
+    stall_dram = 0;
+    stall_exec = 0;
   }
 
 let add_counters a c =
@@ -85,7 +109,16 @@ let add_counters a c =
   a.spec_loads <- a.spec_loads + c.spec_loads;
   a.fences_isv <- a.fences_isv + c.fences_isv;
   a.fences_dsv <- a.fences_dsv + c.fences_dsv;
-  a.fences_baseline <- a.fences_baseline + c.fences_baseline
+  a.fences_baseline <- a.fences_baseline + c.fences_baseline;
+  a.stall_total <- a.stall_total + c.stall_total;
+  a.stall_fetch <- a.stall_fetch + c.stall_fetch;
+  a.stall_rob_full <- a.stall_rob_full + c.stall_rob_full;
+  a.stall_lsq <- a.stall_lsq + c.stall_lsq;
+  a.stall_fence_isv <- a.stall_fence_isv + c.stall_fence_isv;
+  a.stall_fence_dsv <- a.stall_fence_dsv + c.stall_fence_dsv;
+  a.stall_fence_baseline <- a.stall_fence_baseline + c.stall_fence_baseline;
+  a.stall_dram <- a.stall_dram + c.stall_dram;
+  a.stall_exec <- a.stall_exec + c.stall_exec
 
 let copy_counters c =
   {
@@ -102,6 +135,15 @@ let copy_counters c =
     fences_isv = c.fences_isv;
     fences_dsv = c.fences_dsv;
     fences_baseline = c.fences_baseline;
+    stall_total = c.stall_total;
+    stall_fetch = c.stall_fetch;
+    stall_rob_full = c.stall_rob_full;
+    stall_lsq = c.stall_lsq;
+    stall_fence_isv = c.stall_fence_isv;
+    stall_fence_dsv = c.stall_fence_dsv;
+    stall_fence_baseline = c.stall_fence_baseline;
+    stall_dram = c.stall_dram;
+    stall_exec = c.stall_exec;
   }
 
 let diff_counters a b =
@@ -119,9 +161,51 @@ let diff_counters a b =
     fences_isv = a.fences_isv - b.fences_isv;
     fences_dsv = a.fences_dsv - b.fences_dsv;
     fences_baseline = a.fences_baseline - b.fences_baseline;
+    stall_total = a.stall_total - b.stall_total;
+    stall_fetch = a.stall_fetch - b.stall_fetch;
+    stall_rob_full = a.stall_rob_full - b.stall_rob_full;
+    stall_lsq = a.stall_lsq - b.stall_lsq;
+    stall_fence_isv = a.stall_fence_isv - b.stall_fence_isv;
+    stall_fence_dsv = a.stall_fence_dsv - b.stall_fence_dsv;
+    stall_fence_baseline = a.stall_fence_baseline - b.stall_fence_baseline;
+    stall_dram = a.stall_dram - b.stall_dram;
+    stall_exec = a.stall_exec - b.stall_exec;
   }
 
 let total_fences c = c.fences_isv + c.fences_dsv + c.fences_baseline
+
+(* The stall classes by attributed cycles, in rendering order.  Their sum
+   equals [stall_total] by construction (see [classify_stall]). *)
+let stall_classes c =
+  [
+    ("fetch", c.stall_fetch);
+    ("rob_full", c.stall_rob_full);
+    ("lsq", c.stall_lsq);
+    ("fence_isv", c.stall_fence_isv);
+    ("fence_dsv", c.stall_fence_dsv);
+    ("fence_baseline", c.stall_fence_baseline);
+    ("dram", c.stall_dram);
+    ("exec", c.stall_exec);
+  ]
+
+let observe_metrics reg c =
+  let set = Pv_util.Metrics.set_int reg in
+  set "pipeline.cycles" c.cycles;
+  set "pipeline.kernel_cycles" c.kernel_cycles;
+  set "pipeline.committed" c.committed;
+  set "pipeline.committed_kernel" c.committed_kernel;
+  set "pipeline.committed_loads" c.committed_loads;
+  set "pipeline.committed_kernel_loads" c.committed_kernel_loads;
+  set "pipeline.syscalls" c.syscalls;
+  set "pipeline.squashes" c.squashes;
+  set "pipeline.branch_mispredicts" c.branch_mispredicts;
+  set "pipeline.spec_loads" c.spec_loads;
+  set "pipeline.fences.isv" c.fences_isv;
+  set "pipeline.fences.dsv" c.fences_dsv;
+  set "pipeline.fences.baseline" c.fences_baseline;
+  set "pipeline.fences.total" (total_fences c);
+  set "pipeline.stall.total" c.stall_total;
+  List.iter (fun (name, v) -> set ("pipeline.stall." ^ name) v) (stall_classes c)
 
 type estate = Waiting | Issued | Completed
 
@@ -180,6 +264,16 @@ type outcome = Halted | Out_of_fuel | Fault of string
 
 type result = { outcome : outcome; cycles : int; committed : int; regs : int array }
 
+(* Bounded event trace: cycle-stamped pipeline events kept in a ring of
+   [trace_capacity] entries when [config.trace_events] is on.  A fence event
+   (Ev_fence Isv/Dsv) is exactly a view miss — the guard blocked the load
+   because the ISV/DSV lookup said "out of view". *)
+type event_kind = Ev_squash | Ev_fence of Guard.source | Ev_vp_release
+
+type event = { ev_cycle : int; ev_kind : event_kind; ev_va : int; ev_seq : int }
+
+let dummy_event = { ev_cycle = 0; ev_kind = Ev_squash; ev_va = 0; ev_seq = -1 }
+
 type t = {
   cfg : config;
   memsys : Memsys.t;
@@ -214,6 +308,9 @@ type t = {
   mutable run_outcome : outcome option;
   mutable saved_user_regs : int array option;
   mutable hooks : hooks;
+  (* [| |] when tracing is off, so the disabled path costs one length test *)
+  trace_buf : event array;
+  mutable trace_count : int;
 }
 
 let create ?(config = default_config) memsys prog =
@@ -251,6 +348,11 @@ let create ?(config = default_config) memsys prog =
     run_outcome = None;
     saved_user_regs = None;
     hooks = null_hooks;
+    trace_buf =
+      (if config.trace_events && config.trace_capacity > 0 then
+         Array.make config.trace_capacity dummy_event
+       else [||]);
+    trace_count = 0;
   }
 
 let config t = t.cfg
@@ -260,6 +362,40 @@ let ras t = t.ras
 let counters t = t.ctrs
 let set_guard t g = t.guard <- g
 let guard t = t.guard
+
+let record_event t kind ~va ~seq =
+  let n = Array.length t.trace_buf in
+  if n > 0 then begin
+    t.trace_buf.(t.trace_count mod n) <-
+      { ev_cycle = t.now; ev_kind = kind; ev_va = va; ev_seq = seq };
+    t.trace_count <- t.trace_count + 1
+  end
+
+let events t =
+  let n = Array.length t.trace_buf in
+  if n = 0 then []
+  else begin
+    let len = min t.trace_count n in
+    let start = t.trace_count - len in
+    List.init len (fun i -> t.trace_buf.((start + i) mod n))
+  end
+
+let source_name = function
+  | Guard.Isv -> "isv"
+  | Guard.Dsv -> "dsv"
+  | Guard.Baseline -> "baseline"
+
+let event_to_json ev =
+  match ev.ev_kind with
+  | Ev_squash ->
+    Printf.sprintf {|{"cycle":%d,"kind":"squash","va":%d,"seq":%d}|} ev.ev_cycle
+      ev.ev_va ev.ev_seq
+  | Ev_fence src ->
+    Printf.sprintf {|{"cycle":%d,"kind":"fence","source":"%s","va":%d,"seq":%d}|}
+      ev.ev_cycle (source_name src) ev.ev_va ev.ev_seq
+  | Ev_vp_release ->
+    Printf.sprintf {|{"cycle":%d,"kind":"vp_release","va":%d,"seq":%d}|} ev.ev_cycle
+      ev.ev_va ev.ev_seq
 
 let ret_stack_base = 0x5F00_0000_0000
 
@@ -407,6 +543,7 @@ let resolve_ctrl t pos e =
   e.resolved <- true;
   let squash target_va restore_stack restore_depth restore_ghr =
     t.ctrs.squashes <- t.ctrs.squashes + 1;
+    record_event t Ev_squash ~va:e.va ~seq:e.seq;
     truncate_rob t pos;
     t.dispatch_stack <- restore_stack;
     t.dispatch_depth <- restore_depth;
@@ -785,7 +922,8 @@ let issue_step t =
             | Guard.Block src ->
               if e.blocked_src = None then begin
                 e.blocked_src <- Some src;
-                count_fence t src
+                count_fence t src;
+                record_event t (Ev_fence src) ~va:e.va ~seq:e.seq
               end)
         end
     end
@@ -794,6 +932,7 @@ let issue_step t =
     then begin
       (* A fenced load at its visibility point issues non-speculatively. *)
       decr budget;
+      record_event t Ev_vp_release ~va:e.va ~seq:e.seq;
       issue_load_to_memory t e ~speculative:false
     end;
     (* Update running flags with this entry included. *)
@@ -944,6 +1083,39 @@ let reset_run_state t ~asid ~start regs =
   t.kernel_mode <- is_kernel_fid t start;
   t.run_outcome <- None
 
+(* Charge a zero-commit cycle to one stall class by inspecting the ROB head,
+   root cause first: an empty ROB is a fetch stall; a head load parked by the
+   guard is a fence stall of that source; a head still executing is memory
+   (loads/returns) or execution latency; otherwise back-pressure (ROB/LSQ
+   full) and finally the residual [exec] class (e.g. operands in flight), so
+   the classes always sum to [stall_total]. *)
+let classify_stall t =
+  let c = t.ctrs in
+  c.stall_total <- c.stall_total + 1;
+  if t.count = 0 then c.stall_fetch <- c.stall_fetch + 1
+  else begin
+    let e = entry_at t 0 in
+    match e.blocked_src with
+    | Some src when e.state <> Completed -> (
+      (* Still blocked at the guard (Waiting), or released at the
+         visibility point and now waiting out memory latency the fence
+         exposed by delaying the issue (Issued): either way the fence is
+         what keeps the head from committing, so it gets the cycle. *)
+      match src with
+      | Guard.Isv -> c.stall_fence_isv <- c.stall_fence_isv + 1
+      | Guard.Dsv -> c.stall_fence_dsv <- c.stall_fence_dsv + 1
+      | Guard.Baseline -> c.stall_fence_baseline <- c.stall_fence_baseline + 1)
+    | _ ->
+      if e.state = Issued then (
+        match e.insn with
+        | Insn.Load _ | Insn.Ret -> c.stall_dram <- c.stall_dram + 1
+        | _ -> c.stall_exec <- c.stall_exec + 1)
+      else if t.count = cap t then c.stall_rob_full <- c.stall_rob_full + 1
+      else if t.lq_used >= t.cfg.lq_entries || t.sq_used >= t.cfg.sq_entries then
+        c.stall_lsq <- c.stall_lsq + 1
+      else c.stall_exec <- c.stall_exec + 1
+  end
+
 let run ?fuel ?regs ?(hooks = null_hooks) t ~asid ~start =
   let fuel = match fuel with Some f -> f | None -> t.cfg.max_cycles in
   let regs =
@@ -959,8 +1131,10 @@ let run ?fuel ?regs ?(hooks = null_hooks) t ~asid ~start =
     t.ctrs.cycles <- t.ctrs.cycles + 1;
     if t.kernel_mode then t.ctrs.kernel_cycles <- t.ctrs.kernel_cycles + 1;
     completion_step t;
+    let committed_before = t.ctrs.committed in
     commit_step t;
     if t.run_outcome = None then begin
+      if t.ctrs.committed = committed_before then classify_stall t;
       issue_step t;
       fetch_step t
     end

@@ -42,6 +42,10 @@ type config = {
       (** cycle-fuel watchdog: the default fuel of {!run}, so a livelocked
           simulation terminates with a structured [Out_of_fuel] outcome
           instead of spinning forever *)
+  trace_events : bool;
+      (** record squash / fence / VP-release events in a bounded ring (off by
+          default: the disabled path is a single array-length test) *)
+  trace_capacity : int;  (** ring size when tracing; the last N events win *)
 }
 
 val default_config : config
@@ -62,6 +66,24 @@ type counters = {
   mutable fences_isv : int;
   mutable fences_dsv : int;
   mutable fences_baseline : int;
+  mutable stall_total : int;
+      (** zero-commit cycles of a live run; equals the sum of the eight
+          stall classes below, each zero-commit cycle being charged to
+          exactly one class by root cause (see DESIGN.md §7) *)
+  mutable stall_fetch : int;  (** ROB empty: the front end starved commit *)
+  mutable stall_rob_full : int;
+  mutable stall_lsq : int;
+  mutable stall_fence_isv : int;
+      (** head load parked by an ISV view miss, or waiting out memory
+          latency that fence exposed by delaying its issue *)
+  mutable stall_fence_dsv : int;  (** as [stall_fence_isv], for DSV misses *)
+  mutable stall_fence_baseline : int;  (** as above, for FENCE/DOM/STT guards *)
+  mutable stall_dram : int;
+      (** head load/return waiting on the memory system (never fenced) *)
+  mutable stall_exec : int;
+      (** residual execution latency (branch resolution, ALU, operands in
+          flight) — kept explicit so the breakdown always sums to
+          [stall_total] *)
 }
 
 val zero_counters : unit -> counters
@@ -73,6 +95,14 @@ val diff_counters : counters -> counters -> counters
 
 val copy_counters : counters -> counters
 val total_fences : counters -> int
+
+val stall_classes : counters -> (string * int) list
+(** The eight stall classes as [(name, cycles)] in rendering order; sums to
+    [stall_total]. *)
+
+val observe_metrics : Pv_util.Metrics.t -> counters -> unit
+(** Register every counter under [pipeline.*] names ([pipeline.cycles],
+    [pipeline.fences.dsv], [pipeline.stall.fence_isv], ...). *)
 
 type t
 
@@ -121,3 +151,26 @@ val run :
 (** Execute from instruction 0 of function [start] until a [Halt] commits, a
     fault commits, a [Stop] trap action, or [fuel] cycles elapse (default:
     the config's [max_cycles] watchdog). *)
+
+(** {2 Event trace}
+
+    A bounded ring of cycle-stamped events, recorded only when
+    [config.trace_events] is set.  [Ev_fence Isv]/[Ev_fence Dsv] {e is} the
+    view-miss event: the guard parked the load because the speculation-view
+    lookup failed. *)
+
+type event_kind = Ev_squash | Ev_fence of Guard.source | Ev_vp_release
+
+type event = {
+  ev_cycle : int;
+  ev_kind : event_kind;
+  ev_va : int;  (** VA of the instruction the event is about *)
+  ev_seq : int;  (** its ROB sequence number *)
+}
+
+val events : t -> event list
+(** The retained events, oldest first ([[]] when tracing is off).  At most
+    [trace_capacity] events are kept; older ones are overwritten. *)
+
+val event_to_json : event -> string
+(** One JSONL line, deterministic bytes. *)

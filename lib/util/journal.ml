@@ -1,11 +1,34 @@
 (* Append-only journal of marshalled (key, value) records.  Each append is
    one Marshal block followed by a flush, so the file is always a valid
-   prefix of records plus at most one torn tail; load stops at the tear. *)
+   prefix of records plus at most one torn tail; load stops at the tear,
+   and open_writer truncates the tear away before appending — otherwise the
+   new records would land after unreadable bytes and be lost to every
+   subsequent load. *)
 
 type writer = { ch : out_channel; lock : Mutex.t }
 
+(* Records in write order plus the byte length of the clean prefix (the
+   offset just past the last record that unmarshals). *)
+let load_clean path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    let rec go acc clean =
+      match (Marshal.from_channel ic : string * _) with
+      | kv -> go (kv :: acc) (pos_in ic)
+      | exception (End_of_file | Failure _) ->
+        (* clean EOF, or a record torn by a mid-write kill: keep the prefix *)
+        (List.rev acc, clean)
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go [] 0)
+  end
+
 let open_writer path =
-  let ch = open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path in
+  let _, clean = load_clean path in
+  if Sys.file_exists path && (Unix.stat path).Unix.st_size > clean then
+    Unix.truncate path clean;
+  let ch = open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path in
+  seek_out ch clean;
   { ch; lock = Mutex.create () }
 
 let append w ~key v =
@@ -20,19 +43,7 @@ let close w =
   Mutex.lock w.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock w.lock) (fun () -> close_out w.ch)
 
-let load path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in_bin path in
-    let rec go acc =
-      match (Marshal.from_channel ic : string * _) with
-      | kv -> go (kv :: acc)
-      | exception (End_of_file | Failure _) ->
-        (* clean EOF, or a record torn by a mid-write kill: keep the prefix *)
-        List.rev acc
-    in
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go [])
-  end
+let load path = fst (load_clean path)
 
 let load_table path =
   let tbl = Hashtbl.create 64 in

@@ -16,9 +16,12 @@
 type writer
 
 val open_writer : string -> writer
-(** Open (creating if needed) for append.  Existing records are kept — the
-    caller decides whether an old journal is a resume source or stale (the
-    CLI removes the file when starting a fresh checkpointed sweep). *)
+(** Open (creating if needed) for append.  Existing complete records are
+    kept — the caller decides whether an old journal is a resume source or
+    stale (the CLI removes the file when starting a fresh checkpointed
+    sweep) — but a torn trailing record left by a mid-write kill is
+    truncated away first, so records appended after a resume stay readable
+    instead of landing behind unreadable bytes. *)
 
 val append : writer -> key:string -> 'a -> unit
 (** Append one record and flush.  Safe to call from multiple domains. *)

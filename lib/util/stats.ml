@@ -32,7 +32,8 @@ let normalized ~baseline v =
   v /. baseline
 
 let ratio_pct ~num ~den =
-  if den = 0 then 0.0 else float_of_int num /. float_of_int den *. 100.0
+  if den = 0 then invalid_arg "Stats.ratio_pct: zero denominator";
+  float_of_int num /. float_of_int den *. 100.0
 
 type counter = { mutable n : int; mutable sum : float }
 

@@ -22,7 +22,10 @@ val normalized : baseline:float -> float -> float
     when [baseline = 0.]. *)
 
 val ratio_pct : num:int -> den:int -> float
-(** Percentage [num/den * 100]; 0 when [den = 0]. *)
+(** Percentage [num/den * 100].  Raises [Invalid_argument] when [den = 0]
+    — a zero denominator is a "no data" condition, not a 0% one, and
+    silently rendering it as [0.0] produced plausible-looking lies in the
+    sensitivity tables (same policy as {!percent_overhead}/{!normalized}). *)
 
 type counter
 (** Accumulates samples in streaming fashion. *)

@@ -61,12 +61,20 @@ let test_svcache_invalidate () =
 
 let test_svcache_stats () =
   let c = Svcache.create ~name:"t" () in
+  Alcotest.(check (option (float 1e-9)))
+    "untouched cache has no rate" None (Svcache.hit_rate c);
   ignore (Svcache.lookup c ~asid:1 5);
   Svcache.install c ~asid:1 5 true;
   ignore (Svcache.lookup c ~asid:1 5);
   check Alcotest.int "hits" 1 (Svcache.hits c);
   check Alcotest.int "misses" 1 (Svcache.misses c);
-  check (Alcotest.float 1e-9) "rate" 0.5 (Svcache.hit_rate c)
+  check Alcotest.int "accesses" 2 (Svcache.accesses c);
+  Alcotest.(check (option (float 1e-9))) "rate" (Some 0.5) (Svcache.hit_rate c);
+  (* An all-miss cache must be distinguishable from an untouched one. *)
+  let m = Svcache.create ~name:"m" () in
+  ignore (Svcache.lookup m ~asid:1 7);
+  Alcotest.(check (option (float 1e-9)))
+    "100%-miss is Some 0." (Some 0.0) (Svcache.hit_rate m)
 
 (* --- DSVMT --- *)
 

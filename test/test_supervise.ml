@@ -64,6 +64,41 @@ let test_journal_torn_tail () =
         Alcotest.(list (pair string int))
         "valid prefix survives" [ ("done", 42) ] (Journal.load path))
 
+let test_journal_resume_after_tear () =
+  (* The resume-after-tear bug: open_writer used to append blindly after the
+     torn bytes, desyncing the Marshal stream so every post-resume record was
+     unreadable.  It must truncate to the clean prefix first, keeping the
+     pre-kill records AND the post-resume appends loadable. *)
+  with_journal (fun path ->
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"a" 1;
+      Journal.append w ~key:"b" 2;
+      Journal.close w;
+      (* simulate a kill mid-append: a few bytes of a torn third record
+         (shorter than a Marshal header, so it can never parse) *)
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let ch = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+      Out_channel.output_string ch (String.sub full 0 7);
+      Out_channel.close ch;
+      (* resume: the writer truncates the tear, then appends cleanly *)
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"c" 3;
+      Journal.close w;
+      check
+        Alcotest.(list (pair string int))
+        "pre-kill and post-resume records all readable"
+        [ ("a", 1); ("b", 2); ("c", 3) ]
+        (Journal.load path);
+      (* a second resume on the now-clean file is a no-op truncation *)
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"d" 4;
+      Journal.close w;
+      check
+        Alcotest.(list (pair string int))
+        "repeated resumes keep appending"
+        [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ]
+        (Journal.load path))
+
 let test_journal_missing_file () =
   check Alcotest.int "missing journal is empty" 0
     (Hashtbl.length (Journal.load_table "/nonexistent/pv.journal"))
@@ -211,12 +246,82 @@ let test_perf_sweep_fault_then_resume_converges () =
       check Alcotest.string "resumed figure bytes = uninterrupted serial run"
         (render clean) (render resumed))
 
+(* --- telemetry --------------------------------------------------------- *)
+
+module Metrics = Pv_util.Metrics
+module Pipeline = Pv_uarch.Pipeline
+
+let get_int snap name =
+  match Metrics.find snap name with
+  | Some (Metrics.Int v) -> v
+  | _ -> Alcotest.fail (Printf.sprintf "missing int metric %S" name)
+
+let test_stall_classes_partition_total () =
+  (* The attribution classes must partition the zero-commit cycles exactly:
+     every stall cycle lands in exactly one class. *)
+  let r = Perf.run_lebench ~scale:0.2 Schemes.perspective (Lebench.find "select") in
+  let s = r.Perf.metrics in
+  let total = get_int s "pipeline.stall.total" in
+  let classes =
+    [ "fetch"; "rob_full"; "lsq"; "fence_isv"; "fence_dsv"; "fence_baseline"; "dram"; "exec" ]
+  in
+  let sum =
+    List.fold_left (fun acc c -> acc + get_int s ("pipeline.stall." ^ c)) 0 classes
+  in
+  Alcotest.(check bool) "some stall cycles observed" true (total > 0);
+  check Alcotest.int "classes partition the stall cycles" total sum;
+  Alcotest.(check bool) "stalls bounded by total cycles" true
+    (total <= get_int s "pipeline.cycles")
+
+let test_metrics_export_deterministic_across_jobs () =
+  (* The --metrics contract: for a fixed sweep the exported JSON is
+     byte-identical for any worker count (no elapsed passed here; in the CLI
+     the elapsed_s line is the single strippable wall-clock member). *)
+  let cells () =
+    Perf.lebench_cells ~scale:0.2 ~tests:[ Lebench.find "select" ]
+      ~variants:[ Schemes.unsafe; Schemes.perspective ] ()
+  in
+  let export jobs =
+    let sweep = Supervise.run ~config:{ Supervise.default with jobs } (cells ()) in
+    Supervise.render_json
+      [ Supervise.export ~metrics_of:(fun r -> r.Perf.metrics) ~label:"lebench" sweep ]
+  in
+  let j1 = export 1 and j4 = export 4 in
+  check Alcotest.string "-j1 and -j4 exports byte-identical" j1 j4;
+  Alcotest.(check bool) "summary histogram present" true
+    (contains ~sub:"supervise.cell_cycles" j1);
+  Alcotest.(check bool) "stall attribution exported" true
+    (contains ~sub:"pipeline.stall.total" j1);
+  Alcotest.(check bool) "view-cache counters exported" true
+    (contains ~sub:"svcache.dsv.accesses" j1)
+
+let test_event_trace_ring () =
+  let traced = Perf.run_lebench ~scale:0.2 ~trace:true Schemes.perspective (Lebench.find "select") in
+  let untraced = Perf.run_lebench ~scale:0.2 Schemes.perspective (Lebench.find "select") in
+  Alcotest.(check bool) "traced run captured events" true (traced.Perf.events <> []);
+  check Alcotest.int "untraced run records nothing" 0 (List.length untraced.Perf.events);
+  Alcotest.(check bool) "tracing does not perturb the measurement" true
+    (traced.Perf.metrics = untraced.Perf.metrics);
+  List.iter
+    (fun e ->
+      let line = Pipeline.event_to_json e in
+      Alcotest.(check bool)
+        (Printf.sprintf "event line shape: %s" line)
+        true
+        (String.length line > 0 && line.[0] = '{' && contains ~sub:"\"cycle\":" line))
+    traced.Perf.events;
+  let cycles = List.map (fun e -> e.Pipeline.ev_cycle) traced.Perf.events in
+  Alcotest.(check bool) "events come out oldest-first" true
+    (List.sort compare cycles = cycles)
+
 let suite =
   [
     ( "supervise.journal",
       [
         Alcotest.test_case "append/load round-trip" `Quick test_journal_roundtrip;
         Alcotest.test_case "torn tail dropped" `Quick test_journal_torn_tail;
+        Alcotest.test_case "resume-after-tear truncates then appends" `Quick
+          test_journal_resume_after_tear;
         Alcotest.test_case "missing file" `Quick test_journal_missing_file;
       ] );
     ( "supervise.sweeps",
@@ -232,6 +337,14 @@ let suite =
       [
         Alcotest.test_case "starved fuel times out" `Slow test_watchdog_fires_on_starved_fuel;
         Alcotest.test_case "livelock fault hits watchdog" `Slow test_livelock_fault_hits_watchdog;
+      ] );
+    ( "supervise.telemetry",
+      [
+        Alcotest.test_case "stall classes partition stall cycles" `Slow
+          test_stall_classes_partition_total;
+        Alcotest.test_case "metrics export byte-identical across -j" `Slow
+          test_metrics_export_deterministic_across_jobs;
+        Alcotest.test_case "event trace ring" `Slow test_event_trace_ring;
       ] );
     ( "supervise.acceptance",
       [

@@ -5,6 +5,7 @@ module Rng = Pv_util.Rng
 module Stats = Pv_util.Stats
 module Bitset = Pv_util.Bitset
 module Tab = Pv_util.Tab
+module Metrics = Pv_util.Metrics
 
 let check = Alcotest.check
 
@@ -161,6 +162,13 @@ let test_stats_zero_baseline () =
       ignore (Stats.percent_overhead ~baseline:0.0 5.0));
   Alcotest.check_raises "normalized" (Invalid_argument "Stats.normalized: zero baseline")
     (fun () -> ignore (Stats.normalized ~baseline:0.0 5.0))
+
+let test_stats_ratio_pct () =
+  check (Alcotest.float 1e-9) "half" 50.0 (Stats.ratio_pct ~num:1 ~den:2);
+  check (Alcotest.float 1e-9) "zero num" 0.0 (Stats.ratio_pct ~num:0 ~den:7);
+  Alcotest.check_raises "zero den"
+    (Invalid_argument "Stats.ratio_pct: zero denominator") (fun () ->
+      ignore (Stats.ratio_pct ~num:3 ~den:0))
 
 let pos_floats = QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.001 1000.0))
 
@@ -326,6 +334,102 @@ let test_tab_formats () =
   check Alcotest.string "times" "1.57x" (Tab.times 1.57);
   check Alcotest.string "fl" "2.00" (Tab.fl 2.0)
 
+(* --- metrics ----------------------------------------------------------- *)
+
+let test_metrics_counters_and_gauges () =
+  let r = Metrics.create () in
+  Metrics.incr r "a.count";
+  Metrics.incr ~by:4 r "a.count";
+  Metrics.set_int r "a.gauge" 7;
+  Metrics.set_float r "a.rate" 0.5;
+  let s = Metrics.snapshot r in
+  check Alcotest.(option bool) "counter" (Some true)
+    (Option.map (( = ) (Metrics.Int 5)) (Metrics.find s "a.count"));
+  check Alcotest.(option bool) "gauge" (Some true)
+    (Option.map (( = ) (Metrics.Int 7)) (Metrics.find s "a.gauge"));
+  check Alcotest.(option bool) "float" (Some true)
+    (Option.map (( = ) (Metrics.Float 0.5)) (Metrics.find s "a.rate"))
+
+let test_metrics_snapshot_sorted () =
+  let r = Metrics.create () in
+  List.iter (Metrics.incr r) [ "z.last"; "a.first"; "m.mid" ];
+  let names = List.map fst (Metrics.snapshot r) in
+  check Alcotest.(list string) "name order" [ "a.first"; "m.mid"; "z.last" ] names
+
+let test_metrics_type_conflicts () =
+  let r = Metrics.create () in
+  Metrics.incr r "x";
+  Alcotest.check_raises "int vs float"
+    (Invalid_argument "Metrics: \"x\" already registered with another type")
+    (fun () -> Metrics.set_float r "x" 1.0);
+  Alcotest.check_raises "int vs hist"
+    (Invalid_argument "Metrics: \"x\" already registered with another type")
+    (fun () -> Metrics.observe r "x" 1)
+
+let test_metrics_nonfinite_rejected () =
+  let r = Metrics.create () in
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Metrics: \"y\" set to a non-finite float")
+    (fun () -> Metrics.set_float r "y" Float.nan)
+
+let test_metrics_hist_bucket_edges () =
+  (* bucket 0: v <= 0; bucket i >= 1: [2^(i-1), 2^i - 1]; last absorbs. *)
+  check Alcotest.int "nonpositive" 0 (Metrics.bucket_of 0);
+  check Alcotest.int "negative" 0 (Metrics.bucket_of (-5));
+  check Alcotest.int "one" 1 (Metrics.bucket_of 1);
+  check Alcotest.int "two" 2 (Metrics.bucket_of 2);
+  check Alcotest.int "three" 2 (Metrics.bucket_of 3);
+  check Alcotest.int "four" 3 (Metrics.bucket_of 4);
+  check Alcotest.int "seven" 3 (Metrics.bucket_of 7);
+  check Alcotest.int "eight" 4 (Metrics.bucket_of 8);
+  check Alcotest.int "1023" 10 (Metrics.bucket_of 1023);
+  check Alcotest.int "1024" 11 (Metrics.bucket_of 1024);
+  check Alcotest.int "overflow capped" (Metrics.nbuckets - 1)
+    (Metrics.bucket_of max_int);
+  (* bucket_lo inverts the low edge. *)
+  check Alcotest.int "lo 0" min_int (Metrics.bucket_lo 0);
+  check Alcotest.int "lo 1" 1 (Metrics.bucket_lo 1);
+  check Alcotest.int "lo 3" 4 (Metrics.bucket_lo 3);
+  for i = 1 to Metrics.nbuckets - 2 do
+    check Alcotest.int
+      (Printf.sprintf "lo %d is its own bucket" i)
+      i
+      (Metrics.bucket_of (Metrics.bucket_lo i))
+  done
+
+let test_metrics_hist_counts () =
+  let r = Metrics.create () in
+  Metrics.declare_hist r "h.declared";
+  List.iter (Metrics.observe r "h") [ 0; 1; 2; 3; 1000 ];
+  let s = Metrics.snapshot r in
+  (match Metrics.find s "h" with
+  | Some (Metrics.Hist { counts; total; sum }) ->
+    check Alcotest.int "total" 5 total;
+    check Alcotest.int "sum" 1006 sum;
+    check Alcotest.int "bucket 0" 1 counts.(0);
+    check Alcotest.int "bucket 1" 1 counts.(1);
+    check Alcotest.int "bucket 2" 2 counts.(2);
+    check Alcotest.int "bucket 10" 1 counts.(10);
+    check Alcotest.int "bucket array shape" Metrics.nbuckets (Array.length counts)
+  | _ -> Alcotest.fail "expected a histogram");
+  match Metrics.find s "h.declared" with
+  | Some (Metrics.Hist { total = 0; _ }) -> ()
+  | _ -> Alcotest.fail "declared histogram must appear empty"
+
+let test_metrics_json_deterministic () =
+  let build () =
+    let r = Metrics.create () in
+    Metrics.set_int r "b.n" 3;
+    Metrics.set_float r "a.f" 1.5;
+    Metrics.observe r "c.h" 9;
+    Metrics.snapshot_to_json ~indent:2 (Metrics.snapshot r)
+  in
+  let j = build () in
+  check Alcotest.string "byte-identical re-render" j (build ());
+  Alcotest.(check bool) "float rendered" true (contains j "\"a.f\": 1.5");
+  Alcotest.(check bool) "int rendered" true (contains j "\"b.n\": 3");
+  Alcotest.(check bool) "hist rendered" true (contains j "\"c.h\": {\"buckets\":[")
+
 let suite =
   [
     ( "util.rng",
@@ -354,6 +458,7 @@ let suite =
         Alcotest.test_case "min_max" `Quick test_stats_min_max;
         Alcotest.test_case "overhead" `Quick test_stats_overhead;
         Alcotest.test_case "zero baseline rejected" `Quick test_stats_zero_baseline;
+        Alcotest.test_case "ratio_pct zero denominator rejected" `Quick test_stats_ratio_pct;
         Alcotest.test_case "counter" `Quick test_counter;
         QCheck_alcotest.to_alcotest stats_geomean_prop;
         QCheck_alcotest.to_alcotest stats_geomean_scale_prop;
@@ -380,5 +485,15 @@ let suite =
         Alcotest.test_case "render" `Quick test_tab_render;
         Alcotest.test_case "csv" `Quick test_tab_csv;
         Alcotest.test_case "formats" `Quick test_tab_formats;
+      ] );
+    ( "util.metrics",
+      [
+        Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
+        Alcotest.test_case "snapshot name order" `Quick test_metrics_snapshot_sorted;
+        Alcotest.test_case "type conflicts" `Quick test_metrics_type_conflicts;
+        Alcotest.test_case "non-finite rejected" `Quick test_metrics_nonfinite_rejected;
+        Alcotest.test_case "hist bucket edges" `Quick test_metrics_hist_bucket_edges;
+        Alcotest.test_case "hist counts" `Quick test_metrics_hist_counts;
+        Alcotest.test_case "json determinism" `Quick test_metrics_json_deterministic;
       ] );
   ]
