@@ -1,7 +1,8 @@
 (* The full benchmark harness: regenerates every table and figure of the
    paper's evaluation (Tables 4.1, 7.1, 8.1, 8.2, 9.1, 10.1; Figures 9.1,
-   9.2, 9.3; the Chapter 8 PoC study and the 9.2 sensitivity analyses), then
-   runs Bechamel micro-benchmarks of Perspective's core primitives.
+   9.2, 9.3; the Chapter 8 PoC study, the 9.2 sensitivity analyses and the
+   9.3-tail open-loop service curves), then runs Bechamel micro-benchmarks
+   of Perspective's core primitives.
 
    Usage:
      bench/main.exe                 full reproduction (several minutes)
@@ -186,6 +187,25 @@ let perf_sections () =
         Tab.print (E.Sensitivity.cache_size_sweep ~scale:(Float.min !scale 0.6) ~jobs:!jobs ()))
   end
 
+let service_section () =
+  section "fig-9.3-tail" "Open-loop load-latency curves" (fun () ->
+      let requests = max 500 (int_of_float (5000.0 *. Float.min 1.0 !scale)) in
+      let points = if !scale < 1.0 then 3 else 4 in
+      let variants = E.Schemes.standard @ E.Schemes.hardware in
+      let labels = List.map (fun v -> v.E.Schemes.label) variants in
+      let apps = Pv_workloads.Apps.all in
+      let loads = E.Loadsweep.default_loads in
+      (* stderr, so stdout stays byte-identical for every -j value *)
+      Printf.eprintf "\n(calibrating service-time cost models, -j %d...)\n%!" !jobs;
+      let config = { E.Supervise.default with jobs = !jobs } in
+      let outcome = E.Loadsweep.run ~config ~points ~requests ~loads ~apps ~variants () in
+      let tab =
+        E.Loadsweep.table ~requests ~apps ~labels ~loads outcome.E.Loadsweep.point_sweep
+      in
+      Tab.print tab;
+      maybe_csv "fig-9.3-tail" tab;
+      Tab.print (E.Loadsweep.knee_table ~apps ~labels ~loads outcome.E.Loadsweep.point_sweep))
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core primitives                      *)
 (* ------------------------------------------------------------------ *)
@@ -319,7 +339,7 @@ let () =
          usage: main.exe [--quick] [--scale F] [--only LABEL] [-j N] [--no-bechamel] [--csv DIR]\n\
         \       [--metrics FILE.json] [--trace-dir DIR]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
-        \        fig-9.1 fig-9.2 fig-9.3 poc-attacks comparisons sensitivity\n"
+        \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks comparisons sensitivity\n"
         arg;
       exit 2
   in
@@ -330,5 +350,6 @@ let () =
   isv_sections ();
   poc_section ();
   perf_sections ();
+  service_section ();
   if !run_bechamel && !only = None then bechamel_suite ();
   Printf.printf "\nDone.\n"

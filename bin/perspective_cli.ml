@@ -4,6 +4,7 @@
      attack    run the transient-execution PoCs under a chosen scheme
      surface   ISV attack-surface study (Tables 8.1/8.2, Figure 9.1)
      perf      cycle-level performance runs (Figures 9.2/9.3, Table 10.1)
+     service   open-loop load-latency curves (Figure 9.3-tail)
      hw        view-cache hardware characterization (Table 9.1)
      params    simulation parameters (Table 7.1)
      cves      the kernel CVE taxonomy (Table 4.1) *)
@@ -383,6 +384,154 @@ let perf_cmd =
       const run $ workload $ scheme_arg $ seed_arg $ scale_arg $ jobs_arg $ sup_term
       $ metrics_arg $ trace_dir_arg)
 
+(* --- service --- *)
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+let service_cmd =
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "app" ] ~docv:"NAMES"
+          ~doc:"Comma-separated datacenter app names.  Default: all apps.")
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt string "UNSAFE,FENCE,PERSPECTIVE"
+      & info [ "schemes" ] ~docv:"LABELS"
+          ~doc:
+            "Comma-separated scheme labels (UNSAFE, FENCE, PERSPECTIVE-STATIC, \
+             PERSPECTIVE, PERSPECTIVE++, DOM, STT).  UNSAFE is always included: it \
+             calibrates the capacity every load fraction is relative to.")
+  in
+  let loads_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FRACTIONS"
+          ~doc:
+            "Comma-separated offered loads as fractions of the app's UNSAFE \
+             capacity, e.g. $(b,0.5,0.9,1.2).  Default: \
+             0.3,0.5,0.7,0.85,0.95,1.1,1.3.")
+  in
+  let cores_arg =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Simulated server cores.")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Per-core admission bound (counting the request in service); an arrival \
+             finding a full queue is shed.")
+  in
+  let dispatch_arg =
+    Arg.(
+      value & opt string "rr"
+      & info [ "dispatch" ] ~docv:"POLICY"
+          ~doc:"Dispatch policy: $(b,rr) (round-robin) or $(b,jsq) (join-shortest-queue).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "requests" ] ~docv:"N" ~doc:"Open-loop arrivals per load point.")
+  in
+  let run app schemes loads cores queue_bound dispatch requests seed jobs sup metrics_file =
+    let usage fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; 2) fmt in
+    match E.Loadsweep.Server.dispatch_of_string dispatch with
+    | Error e -> usage "%s" e
+    | Ok dispatch -> (
+      let apps =
+        match app with
+        | None -> Ok Pv_workloads.Apps.all
+        | Some names ->
+          List.fold_left
+            (fun acc name ->
+              Result.bind acc (fun apps ->
+                  match
+                    List.find_opt
+                      (fun a -> a.Pv_workloads.Apps.name = name)
+                      Pv_workloads.Apps.all
+                  with
+                  | Some a -> Ok (apps @ [ a ])
+                  | None -> Error name))
+            (Ok []) (split_commas names)
+      in
+      match apps with
+      | Error name -> usage "unknown app %S" name
+      | Ok [] -> usage "no apps selected"
+      | Ok apps -> (
+        let labels = List.map String.uppercase_ascii (split_commas schemes) in
+        let labels = if List.mem "UNSAFE" labels then labels else "UNSAFE" :: labels in
+        let variants =
+          List.fold_left
+            (fun acc label ->
+              Result.bind acc (fun vs ->
+                  match
+                    List.find_opt
+                      (fun v -> v.E.Schemes.label = label)
+                      (E.Schemes.standard @ E.Schemes.hardware)
+                  with
+                  | Some v -> Ok (vs @ [ v ])
+                  | None -> Error label))
+            (Ok []) labels
+        in
+        match variants with
+        | Error label -> usage "unknown scheme label %S for the service model" label
+        | Ok variants -> (
+          let loads =
+            match loads with
+            | None -> Ok E.Loadsweep.default_loads
+            | Some s -> (
+              try
+                let ls = List.map float_of_string (split_commas s) in
+                if ls = [] || List.exists (fun l -> Float.is_nan l || l <= 0.0) ls then
+                  Error s
+                else Ok ls
+              with _ -> Error s)
+          in
+          match loads with
+          | Error s -> usage "bad load list %S (expected positive fractions)" s
+          | Ok loads ->
+            if cores <= 0 then usage "--cores must be positive"
+            else if queue_bound <= 0 then usage "--queue-bound must be positive"
+            else if requests <= 0 then usage "--requests must be positive"
+            else begin
+              let server = { E.Loadsweep.Server.cores; queue_bound; dispatch } in
+              let config = sup_config sup ~jobs in
+              let t0 = Unix.gettimeofday () in
+              let outcome =
+                E.Loadsweep.run ~config ~seed ~requests ~server ~loads ~apps ~variants ()
+              in
+              Tab.print
+                (E.Loadsweep.table ~server ~requests ~apps ~labels ~loads
+                   outcome.E.Loadsweep.point_sweep);
+              Tab.print
+                (E.Loadsweep.knee_table ~apps ~labels ~loads
+                   outcome.E.Loadsweep.point_sweep);
+              E.Supervise.report ~label:"service-cal" outcome.E.Loadsweep.cal_sweep;
+              E.Supervise.report ~label:"service" outcome.E.Loadsweep.point_sweep;
+              Option.iter
+                (fun file ->
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  E.Supervise.write_json ~file (E.Loadsweep.exports ~elapsed outcome))
+                metrics_file;
+              E.Loadsweep.exit_code outcome
+            end)))
+  in
+  let doc =
+    "Open-loop request serving: load-latency curves, saturation knees and overload \
+     shedding per defense scheme (Figure 9.3-tail)."
+  in
+  Cmd.v
+    (Cmd.info "service" ~doc)
+    Term.(
+      const run $ app_arg $ schemes_arg $ loads_arg $ cores_arg $ queue_bound_arg
+      $ dispatch_arg $ requests_arg $ seed_arg $ jobs_arg $ sup_term $ metrics_arg)
+
 (* --- small static commands --- *)
 
 let table_cmd name doc table =
@@ -402,7 +551,10 @@ let cves_cmd = table_cmd "cves" "Kernel CVE taxonomy (Table 4.1)." E.Security.cv
 let () =
   let doc = "Perspective: pliable and secure speculation in operating systems (reproduction)" in
   let info = Cmd.info "perspective" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ attack_cmd; surface_cmd; perf_cmd; hw_cmd; params_cmd; cves_cmd ] in
+  let group =
+    Cmd.group info
+      [ attack_cmd; surface_cmd; perf_cmd; service_cmd; hw_cmd; params_cmd; cves_cmd ]
+  in
   (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),
      2 usage error, 125 unexpected exception. *)
   exit

@@ -1,0 +1,65 @@
+module Metrics = Pv_util.Metrics
+
+type t = {
+  mutable buf : float array;
+  mutable n : int;
+  mutable sorted : float array option;  (* memoized; invalidated by observe *)
+}
+
+let create () = { buf = Array.make 64 0.0; n = 0; sorted = None }
+
+let observe t x =
+  if t.n = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.buf 0 bigger 0 t.n;
+    t.buf <- bigger
+  end;
+  t.buf.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- None
+
+let count t = t.n
+
+let samples t = Array.sub t.buf 0 t.n
+
+let mean t =
+  if t.n = 0 then 0.0
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      s := !s +. t.buf.(i)
+    done;
+    !s /. float_of_int t.n
+  end
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = samples t in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Latency.max_value: no samples";
+  let a = sorted t in
+  a.(t.n - 1)
+
+(* Same nearest-rank definition as Stats.percentile, but on the memoized
+   sorted array so the four tail quantiles of a cell cost one sort. *)
+let percentile t ~p =
+  if t.n = 0 then invalid_arg "Latency.percentile: no samples";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Latency.percentile: p outside [0,100]";
+  let a = sorted t in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
+  let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+  a.(rank - 1)
+
+let observe_metrics reg ~prefix t =
+  Metrics.declare_hist reg prefix;
+  for i = 0 to t.n - 1 do
+    Metrics.observe reg prefix (int_of_float (Float.round t.buf.(i)))
+  done;
+  Metrics.set_int reg (prefix ^ ".count") t.n

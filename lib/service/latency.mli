@@ -1,0 +1,36 @@
+(** Latency recorder for the request-serving simulator: keeps the raw
+    per-request sojourn times (cycles) so tail percentiles are {e exact}
+    nearest-rank statistics, and mirrors them into the fixed log2-bucket
+    shape of {!Pv_util.Metrics} for the deterministic JSON export.
+
+    Everything here is plain data and arithmetic — no clocks, no global
+    state — so two identical simulations produce byte-identical renderings
+    for any worker count. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one sojourn time (cycles). *)
+
+val count : t -> int
+
+val mean : t -> float
+(** Arithmetic mean; [0.] when empty. *)
+
+val max_value : t -> float
+(** Largest recorded sample.  Raises [Invalid_argument] when empty. *)
+
+val percentile : t -> p:float -> float
+(** Exact nearest-rank percentile over the raw samples (see
+    {!Pv_util.Stats.percentile}).  Raises [Invalid_argument] when empty or
+    [p] is outside [[0, 100]]. *)
+
+val samples : t -> float array
+(** The recorded samples in observation order (a copy). *)
+
+val observe_metrics : Pv_util.Metrics.t -> prefix:string -> t -> unit
+(** Export under [prefix]: a log2 histogram [<prefix>] of the samples
+    (rounded to integer cycles) plus [<prefix>.count].  The histogram is
+    declared even when empty so the snapshot key set is shape-stable. *)

@@ -1,0 +1,106 @@
+type dispatch = Round_robin | Join_shortest_queue
+
+let dispatch_of_string s =
+  match String.lowercase_ascii s with
+  | "rr" | "round-robin" -> Ok Round_robin
+  | "jsq" | "join-shortest-queue" -> Ok Join_shortest_queue
+  | _ -> Error (Printf.sprintf "unknown dispatch policy %S (expected rr or jsq)" s)
+
+let dispatch_to_string = function
+  | Round_robin -> "rr"
+  | Join_shortest_queue -> "jsq"
+
+type config = { cores : int; queue_bound : int; dispatch : dispatch }
+
+let default_config = { cores = 4; queue_bound = 32; dispatch = Round_robin }
+
+type result = {
+  offered : int;
+  served : int;
+  shed : int;
+  horizon : float;
+  latency : Latency.t;
+  per_core_served : int array;
+  busy_cycles : float array;
+}
+
+(* Per-core state: a FIFO of completion times of the requests queued or in
+   service.  Draining entries <= now yields the live backlog; the last
+   entry (if any) is when the core frees up. *)
+let backlog q ~now =
+  while (not (Queue.is_empty q)) && Queue.peek q <= now do
+    ignore (Queue.pop q)
+  done;
+  Queue.length q
+
+let simulate ?(config = default_config) ~arrivals ~service () =
+  if config.cores <= 0 then invalid_arg "Server.simulate: cores must be positive";
+  if config.queue_bound <= 0 then
+    invalid_arg "Server.simulate: queue_bound must be positive";
+  let n = Array.length arrivals in
+  for i = 1 to n - 1 do
+    if arrivals.(i) < arrivals.(i - 1) then
+      invalid_arg "Server.simulate: arrivals must be ascending"
+  done;
+  let queues = Array.init config.cores (fun _ -> Queue.create ()) in
+  let last_completion = Array.make config.cores 0.0 in
+  let per_core_served = Array.make config.cores 0 in
+  let busy_cycles = Array.make config.cores 0.0 in
+  let latency = Latency.create () in
+  let served = ref 0 and shed = ref 0 and horizon = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      let s = service i in
+      if Float.is_nan s || s <= 0.0 then
+        invalid_arg "Server.simulate: service times must be positive";
+      let core =
+        match config.dispatch with
+        | Round_robin ->
+          let c = i mod config.cores in
+          ignore (backlog queues.(c) ~now:t);
+          c
+        | Join_shortest_queue ->
+          let best = ref 0 and best_len = ref max_int in
+          Array.iteri
+            (fun c q ->
+              let len = backlog q ~now:t in
+              if len < !best_len then begin
+                best := c;
+                best_len := len
+              end)
+            queues;
+          !best
+      in
+      if Queue.length queues.(core) >= config.queue_bound then incr shed
+      else begin
+        let start = Float.max t last_completion.(core) in
+        let completion = start +. s in
+        Queue.push completion queues.(core);
+        last_completion.(core) <- completion;
+        per_core_served.(core) <- per_core_served.(core) + 1;
+        busy_cycles.(core) <- busy_cycles.(core) +. s;
+        Latency.observe latency (completion -. t);
+        incr served;
+        if completion > !horizon then horizon := completion
+      end)
+    arrivals;
+  {
+    offered = n;
+    served = !served;
+    shed = !shed;
+    horizon = !horizon;
+    latency;
+    per_core_served;
+    busy_cycles;
+  }
+
+let goodput_rps r = if r.served = 0 then 0.0 else float_of_int r.served *. 2.0e9 /. r.horizon
+
+let shed_fraction r =
+  if r.offered = 0 then 0.0 else float_of_int r.shed /. float_of_int r.offered
+
+let utilization r =
+  if r.served = 0 then 0.0
+  else
+    Array.fold_left ( +. ) 0.0 r.busy_cycles
+    /. (float_of_int (Array.length r.busy_cycles) *. r.horizon)

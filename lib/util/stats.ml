@@ -21,6 +21,19 @@ let min_max = function
   | x :: xs ->
     List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
 
+(* Nearest-rank percentile: the smallest element with at least p% of the
+   sample at or below it.  Exact (no interpolation), monotone in p, and
+   p = 0 / p = 100 hit the minimum / maximum. *)
+let percentile xs ~p =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+  let rank = if rank < 1 then 1 else if rank > n then n else rank in
+  List.nth sorted (rank - 1)
+
 (* A zero baseline used to propagate silent nan/inf into the tables; both
    normalizers now refuse it loudly instead. *)
 let percent_overhead ~baseline v =
@@ -35,14 +48,40 @@ let ratio_pct ~num ~den =
   if den = 0 then invalid_arg "Stats.ratio_pct: zero denominator";
   float_of_int num /. float_of_int den *. 100.0
 
-type counter = { mutable n : int; mutable sum : float }
+type counter = {
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
 
-let counter () = { n = 0; sum = 0.0 }
+let counter () = { n = 0; sum = 0.0; sum_sq = 0.0; min_v = infinity; max_v = neg_infinity }
 
 let add c x =
   c.n <- c.n + 1;
-  c.sum <- c.sum +. x
+  c.sum <- c.sum +. x;
+  c.sum_sq <- c.sum_sq +. (x *. x);
+  if x < c.min_v then c.min_v <- x;
+  if x > c.max_v then c.max_v <- x
 
 let count c = c.n
 let total c = c.sum
+let counter_sum_sq c = c.sum_sq
 let counter_mean c = if c.n = 0 then 0.0 else c.sum /. float_of_int c.n
+
+let counter_min c =
+  if c.n = 0 then invalid_arg "Stats.counter_min: empty counter";
+  c.min_v
+
+let counter_max c =
+  if c.n = 0 then invalid_arg "Stats.counter_max: empty counter";
+  c.max_v
+
+(* Population stddev from the streaming moments; clamped at 0 so rounding
+   in sum_sq - n*mean^2 can never produce a NaN. *)
+let counter_stddev c =
+  if c.n < 2 then 0.0
+  else
+    let m = counter_mean c in
+    sqrt (Float.max 0.0 ((c.sum_sq /. float_of_int c.n) -. (m *. m)))

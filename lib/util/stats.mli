@@ -12,6 +12,14 @@ val stddev : float list -> float
 val min_max : float list -> float * float
 (** Smallest and largest element.  Raises [Invalid_argument] on empty input. *)
 
+val percentile : float list -> p:float -> float
+(** [percentile xs ~p] is the nearest-rank percentile: the smallest element
+    of [xs] such that at least [p]% of the sample is [<=] it (no
+    interpolation, so the result is always a member of [xs]).  Monotone
+    non-decreasing in [p]; [p = 0.] returns the minimum and [p = 100.] the
+    maximum.  Raises [Invalid_argument] on an empty list or [p] outside
+    [[0, 100]]. *)
+
 val percent_overhead : baseline:float -> float -> float
 (** [percent_overhead ~baseline v] is [(v - baseline) / baseline * 100].
     Raises [Invalid_argument] when [baseline = 0.] (it used to return a
@@ -28,10 +36,26 @@ val ratio_pct : num:int -> den:int -> float
     sensitivity tables (same policy as {!percent_overhead}/{!normalized}). *)
 
 type counter
-(** Accumulates samples in streaming fashion. *)
+(** Accumulates samples in streaming fashion: count, sum, sum of squares,
+    minimum and maximum — enough for mean/stddev/extrema without retaining
+    the samples. *)
 
 val counter : unit -> counter
 val add : counter -> float -> unit
 val count : counter -> int
 val total : counter -> float
+
+val counter_sum_sq : counter -> float
+(** Running sum of squared samples ([0.] when empty). *)
+
 val counter_mean : counter -> float
+
+val counter_stddev : counter -> float
+(** Population standard deviation from the streaming moments; [0.] for
+    fewer than 2 samples. *)
+
+val counter_min : counter -> float
+(** Smallest sample.  Raises [Invalid_argument] on an empty counter. *)
+
+val counter_max : counter -> float
+(** Largest sample.  Raises [Invalid_argument] on an empty counter. *)

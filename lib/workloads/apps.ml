@@ -99,4 +99,7 @@ let footprint app = List.sort_uniq compare (syscalls app @ app.background)
 let all_syscalls = List.sort_uniq compare (List.concat_map syscalls all)
 
 let scaled app ~factor =
-  { app with requests = max 2 (int_of_float (float_of_int app.requests *. factor)) }
+  if Float.is_nan factor || factor <= 0.0 then
+    invalid_arg "Apps.scaled: factor must be positive";
+  let requests = int_of_float (Float.round (float_of_int app.requests *. factor)) in
+  { app with requests = max 2 requests }

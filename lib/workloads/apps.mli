@@ -28,4 +28,9 @@ val footprint : app -> int list
 (** Hot-loop plus background syscalls: the app's full kernel interface. *)
 
 val all_syscalls : int list
+
 val scaled : app -> factor:float -> app
+(** Scale the request count by [factor], rounding to the nearest integer
+    (floor 2 so a measurement always has a steady-state request).  Raises
+    [Invalid_argument] when [factor] is not positive — truncation used to
+    hide that silently. *)

@@ -213,6 +213,68 @@ let test_counter () =
   check (Alcotest.float 1e-9) "total" 6.0 (Stats.total c);
   check (Alcotest.float 1e-9) "mean" 3.0 (Stats.counter_mean c)
 
+let test_counter_moments () =
+  let c = Stats.counter () in
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  List.iter (Stats.add c) xs;
+  check (Alcotest.float 1e-9) "sum_sq" 232.0 (Stats.counter_sum_sq c);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.counter_min c);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.counter_max c);
+  check (Alcotest.float 1e-6) "stddev matches list stddev" (Stats.stddev xs)
+    (Stats.counter_stddev c);
+  let empty = Stats.counter () in
+  check (Alcotest.float 1e-9) "empty stddev" 0.0 (Stats.counter_stddev empty);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.counter_min: empty counter")
+    (fun () -> ignore (Stats.counter_min empty));
+  Alcotest.check_raises "empty max" (Invalid_argument "Stats.counter_max: empty counter")
+    (fun () -> ignore (Stats.counter_max empty))
+
+let test_percentile () =
+  let xs = [ 15.0; 20.0; 35.0; 40.0; 50.0 ] in
+  check (Alcotest.float 1e-9) "p5 is min" 15.0 (Stats.percentile xs ~p:5.0);
+  check (Alcotest.float 1e-9) "p30" 20.0 (Stats.percentile xs ~p:30.0);
+  check (Alcotest.float 1e-9) "p40" 20.0 (Stats.percentile xs ~p:40.0);
+  check (Alcotest.float 1e-9) "p50" 35.0 (Stats.percentile xs ~p:50.0);
+  check (Alcotest.float 1e-9) "p100 is max" 50.0 (Stats.percentile xs ~p:100.0);
+  check (Alcotest.float 1e-9) "p0 is min" 15.0 (Stats.percentile xs ~p:0.0);
+  check (Alcotest.float 1e-9) "singleton" 7.0 (Stats.percentile [ 7.0 ] ~p:99.0);
+  check (Alcotest.float 1e-9) "unsorted input" 35.0
+    (Stats.percentile [ 50.0; 15.0; 35.0; 40.0; 20.0 ] ~p:50.0)
+
+let test_percentile_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
+    (fun () -> ignore (Stats.percentile [] ~p:50.0));
+  Alcotest.check_raises "p > 100" (Invalid_argument "Stats.percentile: p outside [0,100]")
+    (fun () -> ignore (Stats.percentile [ 1.0 ] ~p:100.5));
+  Alcotest.check_raises "p < 0" (Invalid_argument "Stats.percentile: p outside [0,100]")
+    (fun () -> ignore (Stats.percentile [ 1.0 ] ~p:(-1.0)))
+
+let percentile_monotone_prop =
+  QCheck.Test.make ~name:"percentile is monotone in p and hits min/max" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 40) (float_range (-50.0) 50.0))
+        (float_range 0.0 100.0) (float_range 0.0 100.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      let lo_v = Stats.percentile xs ~p:lo and hi_v = Stats.percentile xs ~p:hi in
+      let min_v, max_v = Stats.min_max xs in
+      lo_v <= hi_v
+      && Stats.percentile xs ~p:0.0 = min_v
+      && Stats.percentile xs ~p:100.0 = max_v
+      && List.mem lo_v xs)
+
+let percentile_member_prop =
+  QCheck.Test.make ~name:"counter min/max agree with percentile extremes" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0.1 1000.0))
+    (fun xs ->
+      let c = Stats.counter () in
+      List.iter (Stats.add c) xs;
+      Stats.counter_min c = Stats.percentile xs ~p:0.0
+      && Stats.counter_max c = Stats.percentile xs ~p:100.0
+      && abs_float (Stats.counter_stddev c -. Stats.stddev xs)
+         < 1e-6 *. (1.0 +. Stats.stddev xs))
+
 let test_bitset_basic () =
   let b = Bitset.create 100 in
   check Alcotest.int "empty" 0 (Bitset.count b);
@@ -460,6 +522,11 @@ let suite =
         Alcotest.test_case "zero baseline rejected" `Quick test_stats_zero_baseline;
         Alcotest.test_case "ratio_pct zero denominator rejected" `Quick test_stats_ratio_pct;
         Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "counter moments" `Quick test_counter_moments;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "percentile rejects" `Quick test_percentile_rejects;
+        QCheck_alcotest.to_alcotest percentile_monotone_prop;
+        QCheck_alcotest.to_alcotest percentile_member_prop;
         QCheck_alcotest.to_alcotest stats_geomean_prop;
         QCheck_alcotest.to_alcotest stats_geomean_scale_prop;
         QCheck_alcotest.to_alcotest stats_stddev_prop;
