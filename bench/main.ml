@@ -32,6 +32,19 @@ let metrics_file : string option ref = ref None
 
 let trace_dir : string option ref = ref None
 
+let cache_dir : string option ref = ref None
+
+let no_cache = ref false
+
+let cache_stats = ref false
+
+(* The persistent result cache (used by the supervised fig-9.3-tail section;
+   a warm run skips the expensive service-time calibrations). *)
+let rescache () =
+  match !cache_dir with
+  | Some dir when not !no_cache -> Some (Pv_util.Rescache.open_dir dir)
+  | _ -> None
+
 let maybe_csv name tab =
   match !csv_dir with
   | Some dir -> Tab.save_csv tab (Filename.concat dir (name ^ ".csv"))
@@ -197,14 +210,18 @@ let service_section () =
       let loads = E.Loadsweep.default_loads in
       (* stderr, so stdout stays byte-identical for every -j value *)
       Printf.eprintf "\n(calibrating service-time cost models, -j %d...)\n%!" !jobs;
-      let config = { E.Supervise.default with jobs = !jobs } in
+      let cache = rescache () in
+      let config = { E.Supervise.default with jobs = !jobs; cache } in
       let outcome = E.Loadsweep.run ~config ~points ~requests ~loads ~apps ~variants () in
       let tab =
         E.Loadsweep.table ~requests ~apps ~labels ~loads outcome.E.Loadsweep.point_sweep
       in
       Tab.print tab;
       maybe_csv "fig-9.3-tail" tab;
-      Tab.print (E.Loadsweep.knee_table ~apps ~labels ~loads outcome.E.Loadsweep.point_sweep))
+      Tab.print (E.Loadsweep.knee_table ~apps ~labels ~loads outcome.E.Loadsweep.point_sweep);
+      E.Supervise.report ~label:"service-cal" outcome.E.Loadsweep.cal_sweep;
+      E.Supervise.report ~label:"service" outcome.E.Loadsweep.point_sweep;
+      if !cache_stats then Option.iter Pv_util.Rescache.report cache)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core primitives                      *)
@@ -333,11 +350,20 @@ let () =
     | "--trace-dir" :: dir :: rest ->
       trace_dir := Some dir;
       parse rest
+    | "--cache" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      parse rest
+    | "--cache-stats" :: rest ->
+      cache_stats := true;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
          usage: main.exe [--quick] [--scale F] [--only LABEL] [-j N] [--no-bechamel] [--csv DIR]\n\
-        \       [--metrics FILE.json] [--trace-dir DIR]\n\
+        \       [--metrics FILE.json] [--trace-dir DIR] [--cache DIR] [--no-cache] [--cache-stats]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
         \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks comparisons sensitivity\n"
         arg;

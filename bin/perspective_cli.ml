@@ -1,13 +1,15 @@
 (* Command-line interface for the Perspective reproduction.
 
    Subcommands:
-     attack    run the transient-execution PoCs under a chosen scheme
-     surface   ISV attack-surface study (Tables 8.1/8.2, Figure 9.1)
-     perf      cycle-level performance runs (Figures 9.2/9.3, Table 10.1)
-     service   open-loop load-latency curves (Figure 9.3-tail)
-     hw        view-cache hardware characterization (Table 9.1)
-     params    simulation parameters (Table 7.1)
-     cves      the kernel CVE taxonomy (Table 4.1) *)
+     attack       run the transient-execution PoCs under a chosen scheme
+     surface      ISV attack-surface study (Tables 8.1/8.2, Figure 9.1)
+     perf         cycle-level performance runs (Figures 9.2/9.3, Table 10.1)
+     service      open-loop load-latency curves (Figure 9.3-tail)
+     security     PoC verdict matrix as a supervised sweep (Chapter 8)
+     sensitivity  view-cache capacity sweep, supervised
+     hw           view-cache hardware characterization (Table 9.1)
+     params       simulation parameters (Table 7.1)
+     cves         the kernel CVE taxonomy (Table 4.1) *)
 
 module E = Pv_experiments
 module Tab = Pv_util.Tab
@@ -57,7 +59,7 @@ let jobs_arg =
            any N produces output identical to -j 1 (the serial path).  Default: \
            the recommended domain count of this machine.")
 
-(* --- supervision flags (perf, surface) --- *)
+(* --- supervision flags (perf, surface, security, sensitivity, service) --- *)
 
 type sup = {
   retries : int;
@@ -65,6 +67,9 @@ type sup = {
   max_cycles : int option;
   checkpoint : string option;
   resume : bool;
+  cache_dir : string option;
+  no_cache : bool;
+  cache_stats : bool;
 }
 
 let fault_conv =
@@ -150,27 +155,92 @@ let resume_arg =
            re-running them; only the missing (e.g. previously failed or \
            interrupted) cells execute.")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persistent result cache: before running, each cell looks its canonical \
+           input descriptor up in $(docv) (reported as CACHED; fault injection and \
+           retries are skipped), and stores its result after.  A warm re-run of an \
+           unchanged sweep performs zero simulation and produces byte-identical \
+           tables and metrics.  Corrupt or version-mismatched entries are dropped \
+           and recomputed, never trusted.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore $(b,--cache): neither consult nor write the result cache.")
+
+let cache_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "After the run, print one line of result-cache counters \
+           (hits/misses/writes/evictions/corrupt_dropped) to stderr.  Requires \
+           $(b,--cache).")
+
 let sup_term =
-  let mk retries fault max_cycles checkpoint resume =
-    { retries; fault; max_cycles; checkpoint; resume }
+  let mk retries fault max_cycles checkpoint resume cache_dir no_cache cache_stats =
+    { retries; fault; max_cycles; checkpoint; resume; cache_dir; no_cache; cache_stats }
   in
   Cmdliner.Term.(
-    const mk $ retries_arg $ fault_arg $ max_cycles_arg $ checkpoint_arg $ resume_arg)
+    const mk $ retries_arg $ fault_arg $ max_cycles_arg $ checkpoint_arg $ resume_arg
+    $ cache_arg $ no_cache_arg $ cache_stats_arg)
 
-let sup_config sup ~jobs =
-  (* A fresh checkpointed run must not inherit a previous run's cells. *)
-  (match sup.checkpoint with
-  | Some f when (not sup.resume) && Sys.file_exists f -> Sys.remove f
-  | _ -> ());
-  {
-    E.Supervise.default with
-    jobs;
-    retries = sup.retries;
-    fault = sup.fault;
-    max_cycles = sup.max_cycles;
-    checkpoint = sup.checkpoint;
-    resume = sup.resume;
-  }
+(* Validate the supervision flags, build the config, run [f] with it, and
+   print the cache counters afterwards if asked.  Validation failures are
+   one-line stderr diagnostics with exit code 2 (usage error) — notably a
+   --resume pointing at a missing, empty or fully-torn checkpoint, which
+   must not surface as an exception backtrace. *)
+let with_sup_config sup ~jobs f =
+  let usage fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; 2) fmt in
+  if sup.resume && sup.checkpoint = None then
+    usage "--resume requires --checkpoint FILE"
+  else if sup.cache_stats && (sup.cache_dir = None || sup.no_cache) then
+    usage "--cache-stats requires --cache DIR (and not --no-cache)"
+  else
+    let resume_ok =
+      match sup.checkpoint with
+      | Some file when sup.resume -> (
+        match Pv_util.Journal.resume_status file with
+        | Pv_util.Journal.Usable _ -> Ok ()
+        | Pv_util.Journal.Missing ->
+          Error (Printf.sprintf "cannot resume: checkpoint %S does not exist" file)
+        | Pv_util.Journal.Unusable why ->
+          Error (Printf.sprintf "cannot resume from %S: %s" file why))
+      | _ -> Ok ()
+    in
+    match resume_ok with
+    | Error msg -> usage "%s" msg
+    | Ok () ->
+      (* A fresh checkpointed run must not inherit a previous run's cells. *)
+      (match sup.checkpoint with
+      | Some f when (not sup.resume) && Sys.file_exists f -> Sys.remove f
+      | _ -> ());
+      let cache =
+        match sup.cache_dir with
+        | Some dir when not sup.no_cache -> Some (Pv_util.Rescache.open_dir dir)
+        | _ -> None
+      in
+      let config =
+        {
+          E.Supervise.default with
+          jobs;
+          retries = sup.retries;
+          fault = sup.fault;
+          max_cycles = sup.max_cycles;
+          checkpoint = sup.checkpoint;
+          resume = sup.resume;
+          cache;
+        }
+      in
+      let code = f config in
+      if sup.cache_stats then Option.iter Pv_util.Rescache.report cache;
+      code
 
 (* --- telemetry flags (perf) --- *)
 
@@ -280,15 +350,14 @@ let attack_cmd =
 
 let surface_cmd =
   let run seed jobs sup =
-    let study = E.Isv_study.build ~seed () in
-    Tab.print (E.Isv_study.surface_table study);
-    Tab.print (E.Isv_study.gadget_table study);
-    let sweep =
-      E.Supervise.run ~config:(sup_config sup ~jobs) (E.Isv_study.speedup_cells ~seed study)
-    in
-    Tab.print (E.Isv_study.speedup_table_rows sweep.E.Supervise.results);
-    E.Supervise.report ~label:"surface" sweep;
-    E.Supervise.exit_code [ sweep ]
+    with_sup_config sup ~jobs (fun config ->
+        let study = E.Isv_study.build ~seed () in
+        Tab.print (E.Isv_study.surface_table study);
+        Tab.print (E.Isv_study.gadget_table study);
+        let sweep = E.Supervise.run ~config (E.Isv_study.speedup_cells ~seed study) in
+        Tab.print (E.Isv_study.speedup_table_rows sweep.E.Supervise.results);
+        E.Supervise.report ~label:"surface" sweep;
+        E.Supervise.exit_code [ sweep ])
   in
   let doc = "ISV attack-surface study: Tables 8.1/8.2 and Figure 9.1." in
   Cmd.v (Cmd.info "surface" ~doc) Term.(const run $ seed_arg $ jobs_arg $ sup_term)
@@ -306,8 +375,14 @@ let perf_cmd =
     let variants =
       match scheme with
       | Some s ->
-        [ E.Schemes.unsafe ]
-        @ List.filter (fun v -> v.E.Schemes.scheme = s) (E.Schemes.standard @ E.Schemes.hardware)
+        (* UNSAFE is always prepended as the baseline; keep only the other
+           variants of the requested scheme, so `-s unsafe` does not produce
+           two UNSAFE cells (duplicate keys abort the sweep). *)
+        E.Schemes.unsafe
+        :: List.filter
+             (fun v ->
+               v.E.Schemes.scheme = s && v.E.Schemes.label <> E.Schemes.unsafe.E.Schemes.label)
+             (E.Schemes.standard @ E.Schemes.hardware)
       | None -> E.Schemes.standard @ E.Schemes.hardware
     in
     let micro_tests =
@@ -327,10 +402,10 @@ let perf_cmd =
       Printf.eprintf "unknown workload\n";
       2
     end
-    else begin
+    else
       (* The two sweeps share the checkpoint journal (their key spaces are
          disjoint), so the stale-journal removal must happen exactly once. *)
-      let config = sup_config sup ~jobs in
+      with_sup_config sup ~jobs (fun config ->
       let trace = trace_dir <> None in
       let labels = List.map (fun v -> v.E.Schemes.label) variants in
       let width = List.length variants in
@@ -374,8 +449,7 @@ let perf_cmd =
         sweeps := sweep :: !sweeps
       end;
       Option.iter (fun file -> E.Supervise.write_json ~file (List.rev !exports)) metrics_file;
-      E.Supervise.exit_code !sweeps
-    end
+      E.Supervise.exit_code !sweeps)
   in
   let doc = "Cycle-level performance runs (Figures 9.2/9.3)." in
   Cmd.v
@@ -466,6 +540,14 @@ let service_cmd =
       | Ok apps -> (
         let labels = List.map String.uppercase_ascii (split_commas schemes) in
         let labels = if List.mem "UNSAFE" labels then labels else "UNSAFE" :: labels in
+        (* First occurrence wins: a repeated label would declare duplicate
+           cell keys and abort the sweep. *)
+        let labels =
+          List.rev
+            (List.fold_left
+               (fun acc l -> if List.mem l acc then acc else l :: acc)
+               [] labels)
+        in
         let variants =
           List.fold_left
             (fun acc label ->
@@ -497,11 +579,12 @@ let service_cmd =
           | Error s -> usage "bad load list %S (expected positive fractions)" s
           | Ok loads ->
             if cores <= 0 then usage "--cores must be positive"
-            else if queue_bound <= 0 then usage "--queue-bound must be positive"
+            else if queue_bound < 0 then
+              usage "--queue-bound must be non-negative (0 sheds every arrival)"
             else if requests <= 0 then usage "--requests must be positive"
-            else begin
+            else
+              with_sup_config sup ~jobs (fun config ->
               let server = { E.Loadsweep.Server.cores; queue_bound; dispatch } in
-              let config = sup_config sup ~jobs in
               let t0 = Unix.gettimeofday () in
               let outcome =
                 E.Loadsweep.run ~config ~seed ~requests ~server ~loads ~apps ~variants ()
@@ -519,8 +602,7 @@ let service_cmd =
                   let elapsed = Unix.gettimeofday () -. t0 in
                   E.Supervise.write_json ~file (E.Loadsweep.exports ~elapsed outcome))
                 metrics_file;
-              E.Loadsweep.exit_code outcome
-            end)))
+              E.Loadsweep.exit_code outcome))))
   in
   let doc =
     "Open-loop request serving: load-latency curves, saturation knees and overload \
@@ -531,6 +613,42 @@ let service_cmd =
     Term.(
       const run $ app_arg $ schemes_arg $ loads_arg $ cores_arg $ queue_bound_arg
       $ dispatch_arg $ requests_arg $ seed_arg $ jobs_arg $ sup_term $ metrics_arg)
+
+(* --- security --- *)
+
+let security_cmd =
+  let run seed jobs sup =
+    with_sup_config sup ~jobs (fun config ->
+        let sweep = E.Supervise.run ~config (E.Security.run_pocs_cells ~seed ()) in
+        Tab.print (E.Security.poc_table_partial sweep.E.Supervise.results);
+        E.Supervise.report ~label:"pocs" sweep;
+        E.Supervise.exit_code [ sweep ])
+  in
+  let doc =
+    "Proof-of-concept transient-execution attacks under every scheme (Chapter 8), \
+     as a supervised sweep."
+  in
+  Cmd.v (Cmd.info "security" ~doc) Term.(const run $ seed_arg $ jobs_arg $ sup_term)
+
+(* --- sensitivity --- *)
+
+let sensitivity_cmd =
+  let run seed scale jobs sup =
+    with_sup_config sup ~jobs (fun config ->
+        let sweep = E.Supervise.run ~config (E.Sensitivity.cache_size_cells ~seed ~scale ()) in
+        Tab.print (E.Sensitivity.cache_size_table sweep.E.Supervise.results);
+        E.Supervise.report ~label:"cache-size" sweep;
+        E.Supervise.exit_code [ sweep ])
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "scale" ] ~docv:"F" ~doc:"Workload scale factor (iterations/requests).")
+  in
+  let doc = "View-cache capacity sensitivity sweep (32..512 entries), supervised." in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ jobs_arg $ sup_term)
 
 (* --- small static commands --- *)
 
@@ -553,7 +671,10 @@ let () =
   let info = Cmd.info "perspective" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ attack_cmd; surface_cmd; perf_cmd; service_cmd; hw_cmd; params_cmd; cves_cmd ]
+      [
+        attack_cmd; surface_cmd; perf_cmd; service_cmd; security_cmd; sensitivity_cmd;
+        hw_cmd; params_cmd; cves_cmd;
+      ]
   in
   (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),
      2 usage error, 125 unexpected exception. *)

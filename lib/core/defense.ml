@@ -48,7 +48,8 @@ let perspective_guard ~vm ~node_of_fid ~block_unknown ~isv_cache ~dsv_cache ~isv
       | Svcache.Miss ->
         (* DSVMT walk + refill; the miss itself conservatively fences. *)
         let bit = Dsvmt.walk (View_manager.dsvmt vm ~ctx) ~page in
-        Svcache.install dsv_cache ~asid:q.Guard.asid key bit;
+        Svcache.install ~speculative:q.Guard.speculative dsv_cache ~asid:q.Guard.asid
+          key bit;
         Guard.Block Guard.Dsv)
     | None ->
       (* Not direct-map memory: either an "unknown" allocation (globals,
@@ -82,7 +83,8 @@ let perspective_guard ~vm ~node_of_fid ~block_unknown ~isv_cache ~dsv_cache ~isv
             Isv_pages.lookup isv_pages ~ctx ~insn_va:q.Guard.insn_va
               ~member:isv_membership
           in
-          Svcache.install isv_cache ~asid:q.Guard.asid key bit;
+          Svcache.install ~speculative:q.Guard.speculative isv_cache
+            ~asid:q.Guard.asid key bit;
           Guard.Block Guard.Isv)
   in
   let notify_vp ~insn_va ~addr ~asid ~kernel_mode =

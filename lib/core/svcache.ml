@@ -59,13 +59,21 @@ let lookup t ~asid key =
     t.misses <- t.misses + 1;
     Miss
 
-let install t ~asid key bit =
+(* LRU state is frozen until the access reaches its Visibility Point: a
+   speculative install fills the line (the walk result must be usable) but
+   leaves the replacement order exactly as a non-speculative observer would
+   see it — the filled line inherits the victim's LRU stamp, so until
+   [touch] promotes it at the VP it stays the set's next victim and a
+   squashed path has not perturbed which line gets evicted. *)
+let install ?(speculative = false) t ~asid key bit =
   let set = set_of t key in
   match find t ~asid key with
   | Some e ->
     e.bit <- bit;
-    t.tick <- t.tick + 1;
-    e.lru <- t.tick
+    if not speculative then begin
+      t.tick <- t.tick + 1;
+      e.lru <- t.tick
+    end
   | None ->
     let victim = ref set.(0) in
     Array.iter
@@ -78,8 +86,10 @@ let install t ~asid key bit =
     e.tag <- tag_of t key;
     e.asid <- asid;
     e.bit <- bit;
-    t.tick <- t.tick + 1;
-    e.lru <- t.tick
+    if not speculative then begin
+      t.tick <- t.tick + 1;
+      e.lru <- t.tick
+    end
 
 let touch t ~asid key =
   match find t ~asid key with

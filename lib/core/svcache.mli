@@ -18,8 +18,14 @@ type lookup = Hit of bool | Miss
 val lookup : t -> asid:int -> int -> lookup
 (** [lookup t ~asid key] probes without LRU promotion (deferred to VP). *)
 
-val install : t -> asid:int -> int -> bool -> unit
-(** Fill after a DSVMT walk / ISV-page fetch, evicting the set's LRU entry. *)
+val install : ?speculative:bool -> t -> asid:int -> int -> bool -> unit
+(** Fill after a DSVMT walk / ISV-page fetch, evicting the set's LRU entry.
+    With [~speculative:true] (the state every defense-guard fill is actually
+    in), replacement state stays {e frozen}: the filled line inherits the
+    evicted victim's LRU stamp, so it remains the set's next victim until
+    {!touch} promotes it at the Visibility Point.  A squashed speculative
+    walk therefore cannot change which line a later access evicts — the LRU
+    channel the paper closes.  Default [false] (architectural fill). *)
 
 val touch : t -> asid:int -> int -> unit
 (** LRU promotion at the Visibility Point. *)

@@ -13,7 +13,12 @@ type workload_views = {
   plus_nodes : Bitset.t;
 }
 
-type t = { kernel : Kernel.t; corpus : Gadgets.t; views : workload_views list }
+type t = {
+  kernel : Kernel.t;
+  corpus : Gadgets.t;
+  views : workload_views list;
+  build_seed : int;  (* pins kernel/corpus/views for cache descriptors *)
+}
 
 let build ?(seed = 42) () =
   let kernel = Kernel.create ~seed () in
@@ -50,7 +55,7 @@ let build ?(seed = 42) () =
         { name = w.Workset.name; static_nodes; dynamic_nodes; plus_nodes })
       Workset.all
   in
-  { kernel; corpus; views }
+  { kernel; corpus; views; build_seed = seed }
 
 (* --- Table 8.1 ------------------------------------------------------ *)
 
@@ -192,7 +197,12 @@ let speedup_cells ?(seed = 42) t =
   let full = Campaign.run graph t.corpus ~seed () in
   List.map
     (fun v ->
-      Supervise.cell ("speedup/" ^ v.name) (fun ~fuel:_ ->
+      Supervise.cell
+        ~cache:
+          (Printf.sprintf "isv-study/speedup|workload=%s|build_seed=%d|seed=%d"
+             v.name t.build_seed seed)
+        ("speedup/" ^ v.name)
+        (fun ~fuel:_ ->
           let bounded = Campaign.run graph t.corpus ~scope:v.dynamic_nodes ~seed () in
           {
             workload = v.name;

@@ -18,6 +18,9 @@ type t = {
   kernel : Pv_kernel.Kernel.t;
   corpus : Pv_scanner.Gadgets.t;
   views : workload_views list;
+  build_seed : int;
+      (** the seed {!build} was given; pins kernel/corpus/views in result-
+          cache descriptors *)
 }
 
 val build : ?seed:int -> unit -> t

@@ -12,10 +12,12 @@ type point = {
   scheme : string;
   load : float;
   offered_krps : float;
-  p50_us : float;
-  p95_us : float;
-  p99_us : float;
-  p999_us : float;
+  (* [None] = nothing was served (e.g. an all-shed overload point): there is
+     no latency distribution, and the table renders "n/a". *)
+  p50_us : float option;
+  p95_us : float option;
+  p99_us : float option;
+  p999_us : float option;
   goodput_krps : float;
   offered : int;
   served : int;
@@ -34,12 +36,24 @@ let point_key app label load = Printf.sprintf "service/%s/%s/%.2f" app label loa
 let key_seed base s =
   String.fold_left (fun acc c -> ((acc * 131) + Char.code c) land 0x3FFFFFFF) base s
 
+(* Cache descriptors: the canonical serialization of every input of the
+   measurement.  The app contributes its request mix implicitly through its
+   name plus the two knobs scaling can change (requests, user_work); the
+   calibration knobs warm/chunk/block_unknown are this family's fixed
+   defaults, folded into Rescache.code_salt.  Fuel only decides failure and
+   successes alone are stored, so it stays out of the key. *)
+let cal_descriptor ~points ~seed (a : Apps.app) label =
+  Printf.sprintf "service-cal|app=%s|req=%d|uw=%d|scheme=%s|seed=%d|points=%d"
+    a.Apps.name a.Apps.requests a.Apps.user_work label seed
+    (Option.value points ~default:4)
+
 let calibration_cells ?(seed = 42) ?points ~apps ~variants () =
   List.concat_map
     (fun (a : Apps.app) ->
       List.map
         (fun (v : Schemes.variant) ->
           Supervise.cell
+            ~cache:(cal_descriptor ~points ~seed a v.Schemes.label)
             (cal_key a.Apps.name v.Schemes.label)
             (fun ~fuel ->
               Costmodel.calibrate ~seed ?points ?fuel ~scheme:v.Schemes.scheme
@@ -71,10 +85,7 @@ let measure_point ~seed ~requests ~server ~models (a : Apps.app)
   let svc_rng = Rng.create (key_seed (key_seed seed a.Apps.name) v.Schemes.label) in
   let service = Array.init requests (fun _ -> Costmodel.sample cm svc_rng) in
   let r = Server.simulate ~config:server ~arrivals ~service:(fun i -> service.(i)) () in
-  let pct p =
-    if Latency.count r.Server.latency = 0 then 0.0
-    else us_of_cycles (Latency.percentile r.Server.latency ~p)
-  in
+  let pct p = Option.map us_of_cycles (Latency.percentile_opt r.Server.latency ~p) in
   let goodput_krps = Server.goodput_rps r /. 1000.0 in
   let reg = Metrics.create () in
   Metrics.set_int reg "service.offered" r.Server.offered;
@@ -84,10 +95,16 @@ let measure_point ~seed ~requests ~server ~models (a : Apps.app)
   Metrics.set_float reg "service.offered_krps" (rate_rps /. 1000.0);
   Metrics.set_float reg "service.goodput_krps" goodput_krps;
   Metrics.set_float reg "service.utilization" (Server.utilization r);
-  Metrics.set_float reg "service.p50_us" (pct 50.0);
-  Metrics.set_float reg "service.p95_us" (pct 95.0);
-  Metrics.set_float reg "service.p99_us" (pct 99.0);
-  Metrics.set_float reg "service.p999_us" (pct 99.9);
+  (* Percentile keys are simply absent for an all-shed point — there is no
+     latency distribution to report, and the key-set difference is itself a
+     deterministic function of the inputs. *)
+  let set_pct name p =
+    match pct p with Some v -> Metrics.set_float reg name v | None -> ()
+  in
+  set_pct "service.p50_us" 50.0;
+  set_pct "service.p95_us" 95.0;
+  set_pct "service.p99_us" 99.0;
+  set_pct "service.p999_us" 99.9;
   Latency.observe_metrics reg ~prefix:"service.latency_cycles" r.Server.latency;
   {
     app = a.Apps.name;
@@ -117,7 +134,22 @@ let check_variants variants =
   if not (List.exists (fun (v : Schemes.variant) -> v.Schemes.label = "UNSAFE") variants)
   then invalid_arg "Loadsweep: variants must include UNSAFE (the capacity baseline)"
 
-let point_cells ?(seed = 42) ?(requests = 5000) ?(server = Server.default_config)
+(* A point's result is a function of the calibration models too; they are
+   not in scope as data here, but they are pinned by the same (app, scheme,
+   seed, points) tuple that keyed the calibration cells, so including
+   [points] pins them transitively.  Callers must pass the same [points]
+   they calibrated with ({!run} does). *)
+let point_descriptor ~points ~seed ~requests ~(server : Server.config) (a : Apps.app)
+    label ~load =
+  Printf.sprintf
+    "service|app=%s|req=%d|uw=%d|scheme=%s|seed=%d|points=%d|requests=%d|cores=%d|qb=%d|disp=%s|load=%.17g"
+    a.Apps.name a.Apps.requests a.Apps.user_work label seed
+    (Option.value points ~default:4)
+    requests server.Server.cores server.Server.queue_bound
+    (Server.dispatch_to_string server.Server.dispatch)
+    load
+
+let point_cells ?(seed = 42) ?points ?(requests = 5000) ?(server = Server.default_config)
     ~loads ~models ~apps ~variants () =
   check_loads loads;
   check_variants variants;
@@ -129,6 +161,9 @@ let point_cells ?(seed = 42) ?(requests = 5000) ?(server = Server.default_config
           List.map
             (fun load ->
               Supervise.cell
+                ~cache:
+                  (point_descriptor ~points ~seed ~requests ~server a
+                     v.Schemes.label ~load)
                 (point_key a.Apps.name v.Schemes.label load)
                 (fun ~fuel:_ ->
                   measure_point ~seed ~requests ~server ~models a v ~load))
@@ -148,8 +183,8 @@ let run ?(config = Supervise.default) ?seed ?points ?requests ?server ?(loads = 
   let cal_sweep = Supervise.run ~config (calibration_cells ?seed ?points ~apps ~variants ()) in
   let point_sweep =
     Supervise.run ~config
-      (point_cells ?seed ?requests ?server ~loads ~models:cal_sweep.Supervise.results ~apps
-         ~variants ())
+      (point_cells ?seed ?points ?requests ?server ~loads
+         ~models:cal_sweep.Supervise.results ~apps ~variants ())
   in
   { cal_sweep; point_sweep }
 
@@ -190,16 +225,17 @@ let table ?(server = Server.default_config) ?(requests = 5000) ~apps ~labels ~lo
               let scheme_col = if li = 0 then label else "" in
               match lookup sweep (point_key a.Apps.name label load) with
               | Some p ->
+                let us = function Some v -> Tab.fl ~dec:1 v | None -> "n/a" in
                 Tab.row tab
                   [
                     app_col;
                     scheme_col;
                     Tab.fl load;
                     Tab.fl ~dec:1 p.offered_krps;
-                    Tab.fl ~dec:1 p.p50_us;
-                    Tab.fl ~dec:1 p.p95_us;
-                    Tab.fl ~dec:1 p.p99_us;
-                    Tab.fl ~dec:1 p.p999_us;
+                    us p.p50_us;
+                    us p.p95_us;
+                    us p.p99_us;
+                    us p.p999_us;
                     Tab.fl ~dec:1 p.goodput_krps;
                     Tab.pct (100.0 *. float_of_int p.shed /. float_of_int (max 1 p.offered));
                   ]

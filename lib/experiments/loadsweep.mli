@@ -24,10 +24,12 @@ type point = {
   scheme : string;
   load : float;  (** offered load as a fraction of UNSAFE capacity *)
   offered_krps : float;
-  p50_us : float;
-  p95_us : float;
-  p99_us : float;
-  p999_us : float;
+  p50_us : float option;
+      (** [None] = nothing was served (an all-shed overload point has no
+          latency distribution); the table renders [n/a] *)
+  p95_us : float option;
+  p99_us : float option;
+  p999_us : float option;
   goodput_krps : float;
   offered : int;
   served : int;
@@ -50,6 +52,7 @@ val calibration_cells :
 
 val point_cells :
   ?seed:int ->
+  ?points:int ->
   ?requests:int ->
   ?server:Server.config ->
   loads:float list ->
@@ -64,9 +67,11 @@ val point_cells :
     structured error (degrading to a [FAILED] table entry).  Arrival seeds
     depend only on (seed, app) and service-draw seeds only on (seed, app,
     scheme), so all loads of a curve share common random numbers and every
-    scheme of an app sees the same arrival pattern.  Raises
-    [Invalid_argument] if [variants] lacks UNSAFE or [loads] is empty or
-    non-positive. *)
+    scheme of an app sees the same arrival pattern.  [points] is only used
+    to key the result cache (a point's value depends on the calibration,
+    which [points] pins transitively) — pass the value the models were
+    calibrated with, as {!run} does.  Raises [Invalid_argument] if
+    [variants] lacks UNSAFE or [loads] is empty or non-positive. *)
 
 type outcome = {
   cal_sweep : Costmodel.t Supervise.sweep;

@@ -168,7 +168,20 @@ let apps_matrix ?(seed = 42) ?(scale = 1.0) ?(jobs = 1) ?(apps = Apps.all) ~vari
 (* --- supervised sweeps ----------------------------------------------- *)
 
 (* Cell keys are stable identities: "<family>/<workload>/<scheme label>".
-   They key the checkpoint journal, so renaming one invalidates resumes. *)
+   They key the checkpoint journal, so renaming one invalidates resumes.
+
+   Cache descriptors are different: the canonical serialization of *every*
+   input of the measurement (workload, scheme label — which determines the
+   pipeline transform for the standard variants — seed, scale, the fixed
+   block_unknown/view-cache defaults of this sweep family, and whether the
+   event trace was on, since it lands in the result record).  Fuel is
+   deliberately absent: it only decides whether the cell fails, and only
+   successes are ever stored. *)
+let perf_descriptor ~family ~workload ~label ~seed ~scale ~trace =
+  Printf.sprintf "perf/%s|w=%s|scheme=%s|seed=%d|scale=%.17g|bu=true|vce=128|trace=%b"
+    family workload label seed scale
+    (trace = Some true)
+
 let lebench_cells ?(seed = 42) ?(scale = 1.0) ?trace ?(tests = Lebench.tests) ~variants
     () =
   List.concat_map
@@ -176,6 +189,9 @@ let lebench_cells ?(seed = 42) ?(scale = 1.0) ?trace ?(tests = Lebench.tests) ~v
       List.map
         (fun v ->
           Supervise.cell
+            ~cache:
+              (perf_descriptor ~family:"lebench" ~workload:t.Lebench.name
+                 ~label:v.Schemes.label ~seed ~scale ~trace)
             (Printf.sprintf "lebench/%s/%s" t.Lebench.name v.Schemes.label)
             (fun ~fuel -> run_lebench ~seed ~scale ?fuel ?trace v t))
         variants)
@@ -187,6 +203,9 @@ let apps_cells ?(seed = 42) ?(scale = 1.0) ?trace ?(apps = Apps.all) ~variants (
       List.map
         (fun v ->
           Supervise.cell
+            ~cache:
+              (perf_descriptor ~family:"apps" ~workload:a.Apps.name
+                 ~label:v.Schemes.label ~seed ~scale ~trace)
             (Printf.sprintf "apps/%s/%s" a.Apps.name v.Schemes.label)
             (fun ~fuel -> run_app ~seed ~scale ?fuel ?trace v a))
         variants)

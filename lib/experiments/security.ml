@@ -56,7 +56,11 @@ let run_pocs ?(seed = 7) ?(jobs = 1) () =
 
 let run_pocs_cells ?(seed = 7) () =
   List.map
-    (fun (name, family) -> Supervise.cell ("pocs/" ^ name) (fun ~fuel:_ -> family ()))
+    (fun (name, family) ->
+      Supervise.cell
+        ~cache:(Printf.sprintf "security/pocs|family=%s|seed=%d" name seed)
+        ("pocs/" ^ name)
+        (fun ~fuel:_ -> family ()))
     (families ~seed ())
 
 let poc_table pocs =

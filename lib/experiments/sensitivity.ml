@@ -232,6 +232,9 @@ let cache_size_cells ?(seed = 42) ?(scale = 0.6) () =
   List.map
     (fun entries ->
       Supervise.cell
+        ~cache:
+          (Printf.sprintf "sensitivity/cache-size|entries=%d|seed=%d|scale=%.17g"
+             entries seed scale)
         (Printf.sprintf "cache-size/%d" entries)
         (fun ~fuel -> cache_size_point ~seed ~scale ?fuel entries))
     cache_size_entries

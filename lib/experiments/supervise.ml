@@ -9,10 +9,11 @@
 module Pool = Pv_util.Pool
 module Fault = Pv_util.Fault
 module Journal = Pv_util.Journal
+module Rescache = Pv_util.Rescache
 
-type 'a cell = { key : string; run : fuel:int option -> 'a }
+type 'a cell = { key : string; cache : string option; run : fuel:int option -> 'a }
 
-let cell key run = { key; run }
+let cell ?cache key run = { key; cache; run }
 
 type failure = { key : string; attempts : int; elapsed : float; reason : string }
 
@@ -20,6 +21,8 @@ type 'a sweep = {
   results : (string * 'a option) list;
   failures : failure list;
   restored : int;
+  cached : int;
+  deduped : int;
   executed : int;
 }
 
@@ -31,6 +34,7 @@ type config = {
   livelock_fuel : int;
   checkpoint : string option;
   resume : bool;
+  cache : Rescache.t option;
 }
 
 let default =
@@ -42,6 +46,7 @@ let default =
     livelock_fuel = 5_000;
     checkpoint = None;
     resume = false;
+    cache = None;
   }
 
 let run ?(config = default) (cells : 'a cell list) =
@@ -55,7 +60,45 @@ let run ?(config = default) (cells : 'a cell list) =
     | _ -> Hashtbl.create 0
   in
   let todo = List.filter (fun (c : 'a cell) -> not (Hashtbl.mem restored_tbl c.key)) cells in
-  let todo_keys = Array.of_list (List.map (fun (c : 'a cell) -> c.key) todo) in
+  (* Result-cache hits: consulted before the pool, so a hit skips fault
+     injection, retries and livelock fuel entirely — the cell never becomes
+     pool work.  Declaration order of the lookups keeps the cache's own
+     hit/miss counters deterministic for any [jobs]. *)
+  let cached_tbl = Hashtbl.create 16 in
+  (match config.cache with
+  | None -> ()
+  | Some rc ->
+    List.iter
+      (fun (c : 'a cell) ->
+        match c.cache with
+        | None -> ()
+        | Some desc -> (
+          match Rescache.find rc ~key:desc with
+          | Some v -> Hashtbl.replace cached_tbl c.key v
+          | None -> ()))
+      todo);
+  let todo = List.filter (fun (c : 'a cell) -> not (Hashtbl.mem cached_tbl c.key)) todo in
+  (* In-run dedup: two cells declaring the same canonical descriptor are the
+     same simulation; the first becomes the representative, later ones alias
+     its outcome.  Active even without a cache directory. *)
+  let rep_of_desc = Hashtbl.create 16 in
+  let alias = Hashtbl.create 16 in
+  let runnable =
+    List.filter
+      (fun (c : 'a cell) ->
+        match c.cache with
+        | None -> true
+        | Some desc -> (
+          match Hashtbl.find_opt rep_of_desc desc with
+          | None ->
+            Hashtbl.add rep_of_desc desc c.key;
+            true
+          | Some rep ->
+            Hashtbl.replace alias c.key rep;
+            false))
+      todo
+  in
+  let runnable_arr = Array.of_list runnable in
   let writer = Option.map Journal.open_writer config.checkpoint in
   let fuel_for index =
     (* attempt 0 suffices: livelock decisions are attempt-independent in
@@ -65,22 +108,54 @@ let run ?(config = default) (cells : 'a cell list) =
     | _ -> config.max_cycles
   in
   let on_outcome index (o : _ Pool.outcome) =
-    match (writer, o.Pool.result) with
-    | Some w, Ok v -> Journal.append w ~key:todo_keys.(index) v
-    | _ -> ()
+    match o.Pool.result with
+    | Ok v ->
+      let c = runnable_arr.(index) in
+      Option.iter (fun w -> Journal.append w ~key:c.key v) writer;
+      (match (config.cache, c.cache) with
+      | Some rc, Some desc -> Rescache.store rc ~key:desc v
+      | _ -> ())
+    | Error _ -> ()
   in
   let outcomes =
     Fun.protect
       ~finally:(fun () -> Option.iter Journal.close writer)
       (fun () ->
-        Pool.with_pool ~jobs:config.jobs (fun p ->
-            Pool.map_results ~retries:config.retries ~fault:config.fault ~on_outcome p
-              (fun (i, c) -> c.run ~fuel:(fuel_for i))
-              (List.mapi (fun i c -> (i, c)) todo)))
+        let outcomes =
+          Pool.with_pool ~jobs:config.jobs (fun p ->
+              Pool.map_results ~retries:config.retries ~fault:config.fault ~on_outcome p
+                (fun (i, c) -> c.run ~fuel:(fuel_for i))
+                (List.mapi (fun i c -> (i, c)) runnable))
+        in
+        (* Cache hits and dedup aliases still belong in the checkpoint: a
+           later --resume must serve them without needing the cache. *)
+        Option.iter
+          (fun w ->
+            let ok = Hashtbl.create 16 in
+            List.iter2
+              (fun (c : 'a cell) (o : _ Pool.outcome) ->
+                match o.Pool.result with
+                | Ok v -> Hashtbl.replace ok c.key v
+                | Error _ -> ())
+              runnable outcomes;
+            List.iter
+              (fun (c : 'a cell) ->
+                match Hashtbl.find_opt cached_tbl c.key with
+                | Some v -> Journal.append w ~key:c.key v
+                | None -> (
+                  match Hashtbl.find_opt alias c.key with
+                  | None -> ()
+                  | Some rep -> (
+                    match Hashtbl.find_opt ok rep with
+                    | Some v -> Journal.append w ~key:c.key v
+                    | None -> ())))
+              cells)
+          writer;
+        outcomes)
   in
-  let ran = Hashtbl.create (List.length todo) in
-  List.iter2 (fun (c : 'a cell) o -> Hashtbl.replace ran c.key o) todo outcomes;
-  let restored = ref 0 in
+  let ran = Hashtbl.create (List.length runnable) in
+  List.iter2 (fun (c : 'a cell) o -> Hashtbl.replace ran c.key o) runnable outcomes;
+  let restored = ref 0 and cached = ref 0 and deduped = ref 0 in
   let results, failures =
     List.fold_left
       (fun (res, fails) (c : 'a cell) ->
@@ -89,26 +164,38 @@ let run ?(config = default) (cells : 'a cell list) =
           incr restored;
           ((c.key, Some v) :: res, fails)
         | None -> (
-          let o = Hashtbl.find ran c.key in
-          match o.Pool.result with
-          | Ok v -> ((c.key, Some v) :: res, fails)
-          | Error e ->
-            let f =
-              {
-                key = c.key;
-                attempts = o.Pool.attempts;
-                elapsed = o.Pool.elapsed;
-                reason = Printexc.to_string e.Pool.exn;
-              }
+          match Hashtbl.find_opt cached_tbl c.key with
+          | Some v ->
+            incr cached;
+            ((c.key, Some v) :: res, fails)
+          | None -> (
+            let report_key, own = match Hashtbl.find_opt alias c.key with
+              | Some rep -> (rep, false)
+              | None -> (c.key, true)
             in
-            ((c.key, None) :: res, f :: fails)))
+            if not own then incr deduped;
+            let o = Hashtbl.find ran report_key in
+            match o.Pool.result with
+            | Ok v -> ((c.key, Some v) :: res, fails)
+            | Error e ->
+              let f =
+                {
+                  key = c.key;
+                  attempts = o.Pool.attempts;
+                  elapsed = o.Pool.elapsed;
+                  reason = Printexc.to_string e.Pool.exn;
+                }
+              in
+              ((c.key, None) :: res, f :: fails))))
       ([], []) cells
   in
   {
     results = List.rev results;
     failures = List.rev failures;
     restored = !restored;
-    executed = List.length todo;
+    cached = !cached;
+    deduped = !deduped;
+    executed = List.length runnable;
   }
 
 let failed s = List.length s.failures
@@ -128,12 +215,13 @@ type exported = {
 (* The sweep-level registry: cell counts plus a log2 histogram of per-cell
    cycle costs read back from each cell's own snapshot.  [elapsed] is the
    only wall-clock datum in an export; it renders on its own JSON line so
-   byte-identity checks can strip it with grep. *)
-let summary_snapshot ?elapsed ~restored ~executed cells =
+   byte-identity checks can strip it with grep.  Provenance counts
+   (restored/cached/deduped/executed) deliberately do NOT appear here: they
+   differ between a cold and a warm run of the same sweep, and the metrics
+   export must stay byte-identical; they live in the stderr {!report}. *)
+let summary_snapshot ?elapsed cells =
   let reg = Metrics.create () in
   Metrics.set_int reg "supervise.cells" (List.length cells);
-  Metrics.set_int reg "supervise.restored" restored;
-  Metrics.set_int reg "supervise.executed" executed;
   Metrics.set_int reg "supervise.failed"
     (List.length (List.filter (fun (_, s) -> s = None) cells));
   Metrics.declare_hist reg "supervise.cell_cycles";
@@ -149,14 +237,11 @@ let summary_snapshot ?elapsed ~restored ~executed cells =
   Option.iter (fun e -> Metrics.set_float reg "elapsed_s" e) elapsed;
   Metrics.snapshot reg
 
-let export_cells ?elapsed ?(restored = 0) ?executed ~label cells =
-  let executed =
-    match executed with Some e -> e | None -> List.length cells - restored
-  in
-  { label; cells; summary = summary_snapshot ?elapsed ~restored ~executed cells }
+let export_cells ?elapsed ~label cells =
+  { label; cells; summary = summary_snapshot ?elapsed cells }
 
 let export ?elapsed ~metrics_of ~label s =
-  export_cells ?elapsed ~restored:s.restored ~executed:s.executed ~label
+  export_cells ?elapsed ~label
     (List.map (fun (k, v) -> (k, Option.map metrics_of v)) s.results)
 
 let render_json exports =
@@ -189,10 +274,11 @@ let write_json ~file exports =
     (fun () -> output_string oc (render_json exports))
 
 let report ?(out = stderr) ~label s =
-  Printf.fprintf out "%s: %d cells, %d restored from checkpoint, %d executed, %d failed\n"
+  Printf.fprintf out
+    "%s: %d cells, %d restored from checkpoint, %d CACHED, %d deduped, %d executed, %d failed\n"
     label
     (List.length s.results)
-    s.restored s.executed (failed s);
+    s.restored s.cached s.deduped s.executed (failed s);
   List.iter
     (fun f ->
       Printf.fprintf out "  FAILED %s after %d attempt%s (%.2fs): %s\n" f.key f.attempts

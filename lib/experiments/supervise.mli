@@ -16,12 +16,16 @@
 
 type 'a cell = {
   key : string;  (** stable identity: also the checkpoint-journal key *)
+  cache : string option;
+      (** canonical input descriptor for the persistent result cache: a
+          string spelling out {e every} input of the measurement, such that
+          equal descriptors imply equal results.  [None] = never cached. *)
   run : fuel:int option -> 'a;
       (** the measurement; [fuel] is the cycle budget the supervisor imposes
           ([None] = the simulator's own default watchdog) *)
 }
 
-val cell : string -> (fuel:int option -> 'a) -> 'a cell
+val cell : ?cache:string -> string -> (fuel:int option -> 'a) -> 'a cell
 
 type failure = {
   key : string;
@@ -35,6 +39,9 @@ type 'a sweep = {
       (** every cell in declaration order; [None] = failed *)
   failures : failure list;  (** declaration order *)
   restored : int;  (** cells served from the checkpoint journal *)
+  cached : int;  (** cells served from the persistent result cache *)
+  deduped : int;
+      (** cells aliased to another cell with the same descriptor this run *)
   executed : int;  (** cells actually run by this invocation *)
 }
 
@@ -48,10 +55,14 @@ type config = {
           pipeline watchdog fires quickly *)
   checkpoint : string option;  (** journal path; [None] disables *)
   resume : bool;  (** serve already-journaled cells from the checkpoint *)
+  cache : Pv_util.Rescache.t option;
+      (** persistent result cache; cells with a descriptor consult it before
+          running and store their results after *)
 }
 
 val default : config
-(** [jobs = 1], [retries = 0], no fault, no cycle override, no checkpoint. *)
+(** [jobs = 1], [retries = 0], no fault, no cycle override, no checkpoint,
+    no cache. *)
 
 val run : ?config:config -> 'a cell list -> 'a sweep
 (** Execute the sweep under supervision.  Cell keys must be unique.  With a
@@ -59,7 +70,19 @@ val run : ?config:config -> 'a cell list -> 'a sweep
     the domain that ran it, so a crash or Ctrl-C loses at most in-flight
     cells; the journal file is opened in append mode — callers starting a
     {e fresh} checkpointed sweep should remove a stale file first (the CLI
-    does this when [--resume] is not given). *)
+    does this when [--resume] is not given).
+
+    Ordering with a cache configured: checkpoint-restored cells are served
+    first, then result-cache hits (counted [cached]; they skip fault
+    injection and retries entirely — a cache hit never becomes pool work),
+    then cells whose descriptor equals an earlier cell's this run are
+    aliased to it (counted [deduped]; one simulation, many rows), and only
+    the remainder executes on the pool.  Fault-plan indices refer to
+    positions in that remainder.  Cache hits and aliases are journaled too,
+    so a later [--resume] works without the cache.  The table a sweep
+    produces is byte-identical whether its cells were executed, restored,
+    cached or deduped — provenance shows up only in {!report} and
+    {!sweep} counts. *)
 
 val failed : _ sweep -> int
 (** Number of failed cells. *)
@@ -75,12 +98,15 @@ val report : ?out:out_channel -> label:string -> _ sweep -> unit
 (** {1 Telemetry export}
 
     A sweep's per-cell metric snapshots plus a sweep-level summary
-    (cell/restored/executed/failed counts and a log2 histogram of per-cell
+    (cell/failed counts and a log2 histogram of per-cell
     [pipeline.cycles]), rendered as deterministic JSON for [--metrics].
-    The only wall-clock datum is the optional [elapsed] seconds, which
-    renders as an ["elapsed_s"] member on its own line so byte-identity
-    checks can strip it (e.g. [grep -v '"elapsed_s"']); everything else is
-    identical for any [-j]. *)
+    Provenance counts (restored/cached/deduped/executed) are deliberately
+    absent — they differ between a cold and a warm run of the same sweep,
+    and the export must be byte-identical across both; read them from
+    {!report} / the {!sweep} record instead.  The only wall-clock datum is
+    the optional [elapsed] seconds, which renders as an ["elapsed_s"] member
+    on its own line so byte-identity checks can strip it (e.g.
+    [grep -v '"elapsed_s"']); everything else is identical for any [-j]. *)
 
 type exported = {
   label : string;  (** sweep name, e.g. ["lebench"] *)
@@ -98,13 +124,11 @@ val export :
 
 val export_cells :
   ?elapsed:float ->
-  ?restored:int ->
-  ?executed:int ->
   label:string ->
   (string * Pv_util.Metrics.snapshot option) list ->
   exported
 (** Build an export directly from keyed snapshots (for unsupervised
-    matrices); [executed] defaults to [cells - restored]. *)
+    matrices). *)
 
 val render_json : exported list -> string
 (** The [--metrics] JSON document ([{"sweeps": {<label>: {"summary": ...,

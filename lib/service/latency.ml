@@ -57,6 +57,8 @@ let percentile t ~p =
   let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
   a.(rank - 1)
 
+let percentile_opt t ~p = if t.n = 0 then None else Some (percentile t ~p)
+
 let observe_metrics reg ~prefix t =
   Metrics.declare_hist reg prefix;
   for i = 0 to t.n - 1 do

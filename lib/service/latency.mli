@@ -27,6 +27,11 @@ val percentile : t -> p:float -> float
     {!Pv_util.Stats.percentile}).  Raises [Invalid_argument] when empty or
     [p] is outside [[0, 100]]. *)
 
+val percentile_opt : t -> p:float -> float option
+(** {!percentile} with the empty recorder degrading to [None] — an all-shed
+    load point serves nothing and must render as [n/a], not raise.  Still
+    raises on [p] outside [[0, 100]]. *)
+
 val samples : t -> float array
 (** The recorded samples in observation order (a copy). *)
 

@@ -35,8 +35,8 @@ let backlog q ~now =
 
 let simulate ?(config = default_config) ~arrivals ~service () =
   if config.cores <= 0 then invalid_arg "Server.simulate: cores must be positive";
-  if config.queue_bound <= 0 then
-    invalid_arg "Server.simulate: queue_bound must be positive";
+  if config.queue_bound < 0 then
+    invalid_arg "Server.simulate: queue_bound must be non-negative";
   let n = Array.length arrivals in
   for i = 1 to n - 1 do
     if arrivals.(i) < arrivals.(i - 1) then

@@ -53,9 +53,12 @@ val simulate :
 (** [simulate ~arrivals ~service ()] serves the requests arriving at the
     (ascending) times [arrivals], request [i] costing [service i] cycles.
     [service] is consulted for every arrival index — shed or not — so a
-    pre-drawn service stream stays aligned across load points.  Raises
-    [Invalid_argument] on a non-positive [cores]/[queue_bound], unsorted
-    arrivals or a non-positive service time. *)
+    pre-drawn service stream stays aligned across load points.
+    [queue_bound = 0] is legal and sheds every arrival: the result degrades
+    to zero goodput with an empty latency recorder (percentiles are [n/a]),
+    which the reporting layer must render rather than crash on.  Raises
+    [Invalid_argument] on a non-positive [cores], a negative [queue_bound],
+    unsorted arrivals or a non-positive service time. *)
 
 val goodput_rps : result -> float
 (** Served requests per simulated second at 2 GHz ([0.] when nothing was

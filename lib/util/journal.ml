@@ -45,6 +45,21 @@ let close w =
 
 let load path = fst (load_clean path)
 
+type resume_status = Missing | Unusable of string | Usable of int
+
+let resume_status path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Missing
+  | exception Unix.Unix_error (err, _, _) -> Unusable (Unix.error_message err)
+  | st ->
+    if st.Unix.st_size = 0 then Unusable "checkpoint file is empty"
+    else begin
+      match load_clean path with
+      | [], _ -> Unusable "checkpoint contains no complete record (fully torn?)"
+      | records, _ -> Usable (List.length records)
+      | exception Sys_error msg -> Unusable msg
+    end
+
 let load_table path =
   let tbl = Hashtbl.create 64 in
   List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (load path);

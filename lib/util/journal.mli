@@ -35,3 +35,13 @@ val load : string -> (string * 'a) list
 
 val load_table : string -> (string, 'a) Hashtbl.t
 (** {!load} into a last-wins table. *)
+
+(** Pre-flight classification of a journal named as a resume source, so the
+    CLI can print one diagnostic line instead of resuming from nothing (or
+    surfacing an exception).  [Usable n] means [n] complete records are
+    available; [Missing] the file does not exist; [Unusable] it exists but
+    holds no complete record (zero bytes, or a single fully-torn record) or
+    cannot be read. *)
+type resume_status = Missing | Unusable of string | Usable of int
+
+val resume_status : string -> resume_status

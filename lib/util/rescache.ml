@@ -1,0 +1,296 @@
+(* Persistent content-addressed result cache. See rescache.mli for the
+   contract (digest keying, torn-write discipline, corrupt-entry policy). *)
+
+let format_version = 1
+
+let code_salt = "pv-rescache-2026-08"
+
+(* --- FNV-1a 64-bit ----------------------------------------------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let digest_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)
+
+(* --- hex codec for the marshalled payload ------------------------------ *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then None
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    let b = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      match (digit h.[2 * i], digit h.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string b) else None
+
+(* --- cache handle ------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt_dropped : int;
+}
+
+type t = {
+  root : string;
+  salt : string; (* effective salt: version + code salt + user salt *)
+  max_entries : int option;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable evictions : int;
+  mutable corrupt_dropped : int;
+  mutable tmp_counter : int;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir ?(salt = "") ?max_entries root =
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' || c = '\n' || c = '\r' then
+        invalid_arg "Rescache.open_dir: salt must not contain quotes, backslashes or newlines")
+    salt;
+  (match max_entries with
+  | Some n when n <= 0 -> invalid_arg "Rescache.open_dir: max_entries must be positive"
+  | _ -> ());
+  mkdir_p root;
+  {
+    root;
+    salt = Printf.sprintf "v%d|%s|%s" format_version code_salt salt;
+    max_entries;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    writes = 0;
+    evictions = 0;
+    corrupt_dropped = 0;
+    tmp_counter = 0;
+  }
+
+let dir t = t.root
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entry_path t ~key = Filename.concat t.root (digest_hex (t.salt ^ "\n" ^ key) ^ ".json")
+
+(* --- envelope ---------------------------------------------------------- *)
+
+(* Minimal flat-JSON escaping: salts and keys are restricted or re-encoded
+   (key travels hex-encoded in the authoritative field), so only the
+   human-readable comment needs escaping. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_envelope t ~key payload =
+  let b = Buffer.create (512 + (2 * String.length payload)) in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"rescache_version\": %d,\n" format_version);
+  Buffer.add_string b (Printf.sprintf "  \"salt\": \"%s\"," t.salt);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "  \"key\": \"%s\",\n" (json_escape key));
+  Buffer.add_string b (Printf.sprintf "  \"key_hex\": \"%s\",\n" (hex_of_string key));
+  Buffer.add_string b (Printf.sprintf "  \"payload_digest\": \"%s\",\n" (digest_hex payload));
+  Buffer.add_string b (Printf.sprintf "  \"payload_hex\": \"%s\"\n" (hex_of_string payload));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Extract the string value of ["field": "..."] from a flat envelope. The
+   values we look up never contain escaped quotes (salt charset is enforced,
+   hex fields are [0-9a-f]), so scanning to the closing quote is exact. *)
+let extract_string body ~field =
+  let pat = Printf.sprintf "\"%s\": \"" field in
+  let plen = String.length pat in
+  let blen = String.length body in
+  let rec find i =
+    if i + plen > blen then None
+    else if String.sub body i plen = pat then
+      let start = i + plen in
+      match String.index_from_opt body start '"' with
+      | Some stop -> Some (String.sub body start (stop - start))
+      | None -> None
+    else find (i + 1)
+  in
+  find 0
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Some (really_input_string ic n))
+  with Sys_error _ | End_of_file -> None
+
+(* Parse an envelope; [Ok payload] only when every check passes for this
+   cache's salt and the stored key equals [key]. [Error `Corrupt] covers
+   damage and salt/version mismatch (both are dropped); [Error `Other_key]
+   is a digest collision — an honest miss that must NOT delete the file. *)
+let parse_envelope t ~key body =
+  match
+    ( extract_string body ~field:"salt",
+      extract_string body ~field:"key_hex",
+      extract_string body ~field:"payload_digest",
+      extract_string body ~field:"payload_hex" )
+  with
+  | Some salt, Some key_hex, Some payload_digest, Some payload_hex -> (
+      if salt <> t.salt then Error `Corrupt
+      else
+        match (string_of_hex key_hex, string_of_hex payload_hex) with
+        | Some stored_key, Some payload ->
+            if stored_key <> key then Error `Other_key
+            else if digest_hex payload <> payload_digest then Error `Corrupt
+            else Ok payload
+        | _ -> Error `Corrupt)
+  | _ -> Error `Corrupt
+
+let find (type a) t ~key : a option =
+  let path = entry_path t ~key in
+  with_lock t (fun () ->
+      match read_file path with
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+      | Some body -> (
+          match parse_envelope t ~key body with
+          | Ok payload -> (
+              match (Marshal.from_string payload 0 : a) with
+              | v ->
+                  t.hits <- t.hits + 1;
+                  Some v
+              | exception _ ->
+                  (try Sys.remove path with Sys_error _ -> ());
+                  t.corrupt_dropped <- t.corrupt_dropped + 1;
+                  t.misses <- t.misses + 1;
+                  None)
+          | Error `Other_key ->
+              t.misses <- t.misses + 1;
+              None
+          | Error `Corrupt ->
+              (try Sys.remove path with Sys_error _ -> ());
+              t.corrupt_dropped <- t.corrupt_dropped + 1;
+              t.misses <- t.misses + 1;
+              None))
+
+let entries t =
+  match Sys.readdir t.root with
+  | exception Sys_error _ -> [||]
+  | names -> Array.of_list (List.filter (fun n -> Filename.check_suffix n ".json") (Array.to_list names))
+
+let evict_over_limit t =
+  match t.max_entries with
+  | None -> ()
+  | Some limit ->
+      let names = entries t in
+      if Array.length names > limit then begin
+        let stamped =
+          Array.to_list names
+          |> List.filter_map (fun n ->
+                 let p = Filename.concat t.root n in
+                 match Unix.stat p with
+                 | st -> Some (st.Unix.st_mtime, n)
+                 | exception Unix.Unix_error _ -> None)
+          |> List.sort compare
+        in
+        let excess = List.length stamped - limit in
+        List.iteri
+          (fun i (_, n) ->
+            if i < excess then begin
+              (try Sys.remove (Filename.concat t.root n) with Sys_error _ -> ());
+              t.evictions <- t.evictions + 1
+            end)
+          stamped
+      end
+
+let store t ~key v =
+  let payload = Marshal.to_string v [] in
+  let body = render_envelope t ~key payload in
+  let path = entry_path t ~key in
+  with_lock t (fun () ->
+      t.tmp_counter <- t.tmp_counter + 1;
+      let tmp =
+        Filename.concat t.root
+          (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) t.tmp_counter)
+      in
+      match
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc body);
+        Unix.rename tmp path
+      with
+      | () ->
+          t.writes <- t.writes + 1;
+          evict_over_limit t
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          (try Sys.remove tmp with Sys_error _ -> ()))
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        writes = t.writes;
+        evictions = t.evictions;
+        corrupt_dropped = t.corrupt_dropped;
+      })
+
+let observe_metrics m ~prefix t =
+  let s = stats t in
+  Metrics.set_int m (prefix ^ ".hits") s.hits;
+  Metrics.set_int m (prefix ^ ".misses") s.misses;
+  Metrics.set_int m (prefix ^ ".writes") s.writes;
+  Metrics.set_int m (prefix ^ ".evictions") s.evictions;
+  Metrics.set_int m (prefix ^ ".corrupt_dropped") s.corrupt_dropped
+
+let report ?(out = stderr) t =
+  let s = stats t in
+  Printf.fprintf out
+    "rescache: hits=%d misses=%d writes=%d evictions=%d corrupt_dropped=%d dir=%s\n%!"
+    s.hits s.misses s.writes s.evictions s.corrupt_dropped t.root

@@ -1,0 +1,82 @@
+(** Persistent, content-addressed result cache for simulation jobs.
+
+    A cache maps a {e canonical input descriptor} — a string spelling out
+    every input of a measurement (machine config knobs, seed, scheme, job
+    kind) — to the job's marshalled result, stored as one JSON envelope file
+    under a cache root.  The file name is a 64-bit FNV-1a digest (16 hex
+    chars, filename-safe) of the salted descriptor, so equal inputs collide
+    onto the same entry on every machine and for every worker count, and the
+    envelope stores the full descriptor so a digest collision degrades to a
+    miss, never to a wrong result.
+
+    {b Torn-write discipline.} Entries are written to a temp file in the
+    cache root and [rename]d into place, so a reader can never observe a
+    half-written entry (same discipline as the checkpoint journal's
+    truncate-on-resume).  Entries are additionally checksummed: the envelope
+    carries an FNV-1a digest of the payload bytes, and {!find} re-verifies it
+    before unmarshalling — a truncated, bit-flipped or otherwise damaged
+    entry is {e dropped and recomputed, never trusted}.
+
+    {b Invalidation.} The effective salt is [format_version ^ code_salt ^
+    user salt]: bump {!code_salt} whenever a cached result type or the
+    simulator's measured behaviour changes, and every stale entry becomes
+    unreachable (different file names) and unreadable (salt check).
+
+    {b Type safety.} Values go through [Marshal] untyped, exactly like
+    {!Journal}: a descriptor must determine its value type.  The experiment
+    layer guarantees this by prefixing every descriptor with its sweep
+    family ([perf/lebench|...], [service-cal|...]) and keeping one value
+    type per family. *)
+
+type t
+
+val code_salt : string
+(** Bump on any change to cached result types or measured simulator
+    behaviour; old cache entries then miss and are recomputed. *)
+
+val open_dir : ?salt:string -> ?max_entries:int -> string -> t
+(** [open_dir dir] opens (creating it, including parents, if needed) a cache
+    rooted at [dir].  [salt] (default [""]) composes with {!code_salt};
+    it must not contain ['"'], ['\\'] or newlines.  [max_entries] bounds the
+    number of entries: after a store that exceeds it, the oldest entries
+    (by modification time) are evicted.  Thread-safe: one [t] may be shared
+    across pool domains. *)
+
+val dir : t -> string
+
+val digest_hex : string -> string
+(** The 16-hex-char FNV-1a 64 digest used for file names — exposed so tests
+    can pin key stability. *)
+
+val find : t -> key:string -> 'a option
+(** Look up the entry for canonical descriptor [key].  [None] on a miss, on
+    a salt/version mismatch, and on any corrupt entry (which is deleted and
+    counted in [corrupt_dropped]).  The value must be read at the type it
+    was stored with (see the type-safety note above). *)
+
+val store : t -> key:string -> 'a -> unit
+(** Write (or atomically replace) the entry for [key] via temp-file +
+    rename.  I/O errors are swallowed — a cache that cannot write degrades
+    to a cache that never hits. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt_dropped : int;  (** corrupt or version-mismatched entries deleted *)
+}
+
+val stats : t -> stats
+
+val observe_metrics : Metrics.t -> prefix:string -> t -> unit
+(** Register [<prefix>.hits], [<prefix>.misses], [<prefix>.writes],
+    [<prefix>.evictions] and [<prefix>.corrupt_dropped].  Cache counters are
+    run provenance (a warm run hits where a cold run missed), so they are
+    reported on stderr via [--cache-stats] and never land in the [--metrics]
+    export, which must stay byte-identical between cold and warm runs. *)
+
+val report : ?out:out_channel -> t -> unit
+(** One-line [rescache: hits=... misses=... writes=... evictions=...
+    corrupt_dropped=... dir=...] summary (the [--cache-stats] output,
+    default [stderr]). *)

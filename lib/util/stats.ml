@@ -34,6 +34,8 @@ let percentile xs ~p =
   let rank = if rank < 1 then 1 else if rank > n then n else rank in
   List.nth sorted (rank - 1)
 
+let percentile_opt xs ~p = if xs = [] then None else Some (percentile xs ~p)
+
 (* A zero baseline used to propagate silent nan/inf into the tables; both
    normalizers now refuse it loudly instead. *)
 let percent_overhead ~baseline v =

@@ -20,6 +20,11 @@ val percentile : float list -> p:float -> float
     maximum.  Raises [Invalid_argument] on an empty list or [p] outside
     [[0, 100]]. *)
 
+val percentile_opt : float list -> p:float -> float option
+(** {!percentile} with the empty sample degrading to [None] instead of an
+    exception (an all-shed service cell has a goodput of zero and {e no}
+    latency distribution).  Still raises on [p] outside [[0, 100]]. *)
+
 val percent_overhead : baseline:float -> float -> float
 (** [percent_overhead ~baseline v] is [(v - baseline) / baseline * 100].
     Raises [Invalid_argument] when [baseline = 0.] (it used to return a

@@ -50,6 +50,53 @@ let test_svcache_touch_promotes () =
   Alcotest.(check bool) "promoted survives" true (Svcache.lookup c ~asid:1 0 = Svcache.Hit true);
   Alcotest.(check bool) "unpromoted evicted" true (Svcache.lookup c ~asid:1 4 = Svcache.Miss)
 
+(* The frozen-replacement contract: a speculative install must leave the
+   set's LRU order exactly as a non-speculative observer would see it, or
+   the replacement state itself becomes a transmitter before the access
+   reaches its Visibility Point. *)
+let test_svcache_speculative_fill_stays_victim () =
+  let c = Svcache.create ~entries:8 ~ways:2 ~name:"t" () in
+  Svcache.install c ~asid:1 0 true;
+  Svcache.install c ~asid:1 4 true;
+  (* speculative fill evicts key 0 (LRU) but inherits its stamp... *)
+  Svcache.install ~speculative:true c ~asid:1 8 true;
+  Alcotest.(check bool) "filled line is usable" true
+    (Svcache.lookup c ~asid:1 8 = Svcache.Hit true);
+  (* ...so the next demand install victimizes the speculative line, not 4 *)
+  Svcache.install c ~asid:1 12 true;
+  Alcotest.(check bool) "unpromoted speculative line re-evicted" true
+    (Svcache.lookup c ~asid:1 8 = Svcache.Miss);
+  Alcotest.(check bool) "architectural line untouched" true
+    (Svcache.lookup c ~asid:1 4 = Svcache.Hit true);
+  Alcotest.(check bool) "new line present" true
+    (Svcache.lookup c ~asid:1 12 = Svcache.Hit true)
+
+let test_svcache_touch_promotes_speculative_fill () =
+  let c = Svcache.create ~entries:8 ~ways:2 ~name:"t" () in
+  Svcache.install c ~asid:1 0 true;
+  Svcache.install c ~asid:1 4 true;
+  Svcache.install ~speculative:true c ~asid:1 8 true;
+  Svcache.touch c ~asid:1 8 (* the access reached its VP *);
+  Svcache.install c ~asid:1 12 true (* now 4 is the LRU victim *);
+  Alcotest.(check bool) "promoted speculative line survives" true
+    (Svcache.lookup c ~asid:1 8 = Svcache.Hit true);
+  Alcotest.(check bool) "LRU architectural line evicted instead" true
+    (Svcache.lookup c ~asid:1 4 = Svcache.Miss)
+
+let test_svcache_speculative_hit_does_not_promote () =
+  let c = Svcache.create ~entries:8 ~ways:2 ~name:"t" () in
+  Svcache.install c ~asid:1 0 true;
+  Svcache.install c ~asid:1 4 true;
+  (* a speculative re-install on a resident key updates the bit but must
+     not refresh its recency *)
+  Svcache.install ~speculative:true c ~asid:1 0 false;
+  Alcotest.(check bool) "bit updated" true (Svcache.lookup c ~asid:1 0 = Svcache.Hit false);
+  Svcache.install c ~asid:1 8 true;
+  Alcotest.(check bool) "still the LRU victim" true
+    (Svcache.lookup c ~asid:1 0 = Svcache.Miss);
+  Alcotest.(check bool) "younger line kept" true
+    (Svcache.lookup c ~asid:1 4 = Svcache.Hit true)
+
 let test_svcache_invalidate () =
   let c = Svcache.create ~name:"t" () in
   Svcache.install c ~asid:1 100 true;
@@ -438,6 +485,12 @@ let suite =
         Alcotest.test_case "asid tagging" `Quick test_svcache_asid_tagged;
         Alcotest.test_case "capacity eviction" `Quick test_svcache_capacity_eviction;
         Alcotest.test_case "VP touch promotes" `Quick test_svcache_touch_promotes;
+        Alcotest.test_case "speculative fill stays the victim" `Quick
+          test_svcache_speculative_fill_stays_victim;
+        Alcotest.test_case "VP touch promotes a speculative fill" `Quick
+          test_svcache_touch_promotes_speculative_fill;
+        Alcotest.test_case "speculative hit does not promote" `Quick
+          test_svcache_speculative_hit_does_not_promote;
         Alcotest.test_case "invalidate" `Quick test_svcache_invalidate;
         Alcotest.test_case "stats" `Quick test_svcache_stats;
         QCheck_alcotest.to_alcotest svcache_oracle_prop;

@@ -122,6 +122,54 @@ let test_server_validates_inputs () =
            ~config:{ Server.default_config with Server.cores = 0 }
            ~arrivals:[| 0.0 |] ~service ()))
 
+let test_server_queue_bound_zero_sheds_everything () =
+  (* Queue bound 0 is the degenerate-but-legal overload limit: every arrival
+     is shed, nothing is served, and the empty latency recorder must surface
+     as None percentiles rather than a crash. *)
+  let r =
+    Server.simulate
+      ~config:{ Server.cores = 1; queue_bound = 0; dispatch = Server.Round_robin }
+      ~arrivals:[| 0.0; 1.0; 2.0 |]
+      ~service:(fun _ -> 10.0)
+      ()
+  in
+  check Alcotest.int "served" 0 r.Server.served;
+  check Alcotest.int "all shed" 3 r.Server.shed;
+  check (Alcotest.float 1e-9) "shed fraction one" 1.0 (Server.shed_fraction r);
+  check (Alcotest.float 1e-9) "zero goodput" 0.0 (Server.goodput_rps r);
+  check Alcotest.int "empty recorder" 0 (Latency.count r.Server.latency);
+  check
+    Alcotest.(option (float 1e-9))
+    "p99 of nothing is None" None
+    (Latency.percentile_opt r.Server.latency ~p:99.0)
+
+let test_server_queue_bound_one_overload () =
+  (* Bound 1 under a simultaneous burst: the first arrival occupies the one
+     slot; the rest find it full and shed. *)
+  let r =
+    Server.simulate
+      ~config:{ Server.cores = 1; queue_bound = 1; dispatch = Server.Round_robin }
+      ~arrivals:[| 0.0; 0.0; 0.0; 0.0 |]
+      ~service:(fun _ -> 10.0)
+      ()
+  in
+  check Alcotest.int "one served" 1 r.Server.served;
+  check Alcotest.int "rest shed" 3 r.Server.shed;
+  check
+    Alcotest.(option (float 1e-9))
+    "survivor's sojourn" (Some 10.0)
+    (Latency.percentile_opt r.Server.latency ~p:100.0)
+
+let test_server_negative_queue_bound_rejected () =
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Server.simulate: queue_bound must be non-negative") (fun () ->
+      ignore
+        (Server.simulate
+           ~config:{ Server.default_config with Server.queue_bound = -1 }
+           ~arrivals:[| 0.0 |]
+           ~service:(fun _ -> 1.0)
+           ()))
+
 let test_dispatch_parse () =
   Alcotest.(check bool) "rr" true (Server.dispatch_of_string "rr" = Ok Server.Round_robin);
   Alcotest.(check bool) "jsq" true
@@ -275,6 +323,43 @@ let test_loadsweep_missing_unsafe_rejected () =
         (Loadsweep.point_cells ~loads:[ 0.5 ] ~models:[] ~apps:sweep_apps
            ~variants:[ Schemes.fence ] ()))
 
+let test_loadsweep_all_shed_point_degrades () =
+  (* An all-shed cell (queue bound 0 under overload) used to crash the
+     recorder with "percentile of an empty distribution"; it must degrade to
+     a zero-goodput row whose percentiles render as n/a. *)
+  let cm =
+    Costmodel.calibrate ~points:2 ~scheme:Perspective.Defense.Unsafe ~label:"UNSAFE" Apps.redis
+  in
+  let cells =
+    Loadsweep.point_cells
+      ~server:{ Server.cores = 1; queue_bound = 0; dispatch = Server.Round_robin }
+      ~requests:200 ~points:2
+      ~loads:[ 1.2 ]
+      ~models:[ ("service-cal/redis/UNSAFE", Some cm) ]
+      ~apps:sweep_apps
+      ~variants:[ Schemes.unsafe ]
+      ()
+  in
+  let sweep = Supervise.run cells in
+  check Alcotest.int "the cell itself does not fail" 0 (Supervise.failed sweep);
+  (match sweep.Supervise.results with
+  | [ (_, Some p) ] ->
+    check Alcotest.int "nothing served" 0 p.Loadsweep.served;
+    check Alcotest.int "everything shed" 200 p.Loadsweep.shed;
+    check (Alcotest.float 1e-9) "zero goodput" 0.0 p.Loadsweep.goodput_krps;
+    Alcotest.(check bool) "no p99 to report" true (p.Loadsweep.p99_us = None)
+  | _ -> Alcotest.fail "expected exactly one surviving point");
+  let rendered =
+    Tab.to_string
+      (Loadsweep.table ~requests:200 ~apps:sweep_apps ~labels:[ "UNSAFE" ] ~loads:[ 1.2 ] sweep)
+  in
+  let sub = "n/a" in
+  let rec contains i =
+    i + String.length sub <= String.length rendered
+    && (String.sub rendered i (String.length sub) = sub || contains (i + 1))
+  in
+  Alcotest.(check bool) "table renders n/a percentiles" true (contains 0)
+
 (* --- Apps.scaled (satellite regression) -------------------------------- *)
 
 let test_apps_scaled_rounds () =
@@ -305,6 +390,12 @@ let suite =
         Alcotest.test_case "FIFO backlog and shedding" `Quick test_server_fifo_and_shed;
         Alcotest.test_case "JSQ balances ties" `Quick test_server_jsq_balances;
         Alcotest.test_case "input validation" `Quick test_server_validates_inputs;
+        Alcotest.test_case "queue bound 0 sheds everything" `Quick
+          test_server_queue_bound_zero_sheds_everything;
+        Alcotest.test_case "queue bound 1 under a burst" `Quick
+          test_server_queue_bound_one_overload;
+        Alcotest.test_case "negative queue bound rejected" `Quick
+          test_server_negative_queue_bound_rejected;
         Alcotest.test_case "dispatch parsing" `Quick test_dispatch_parse;
         Alcotest.test_case "p99 monotone, goodput bounded" `Quick
           test_p99_monotone_and_goodput_bounded;
@@ -319,6 +410,8 @@ let suite =
           test_loadsweep_fault_then_resume_converges;
         Alcotest.test_case "UNSAFE baseline required" `Quick
           test_loadsweep_missing_unsafe_rejected;
+        Alcotest.test_case "all-shed point degrades to n/a" `Slow
+          test_loadsweep_all_shed_point_degrades;
       ] );
     ( "service.apps-scaled",
       [ Alcotest.test_case "rounds to nearest" `Quick test_apps_scaled_rounds ] );

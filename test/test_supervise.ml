@@ -103,6 +103,51 @@ let test_journal_missing_file () =
   check Alcotest.int "missing journal is empty" 0
     (Hashtbl.length (Journal.load_table "/nonexistent/pv.journal"))
 
+(* --- resume preflight (the CLI's --resume diagnostic) ------------------ *)
+
+let test_resume_status_missing () =
+  Alcotest.(check bool) "absent file is Missing" true
+    (Journal.resume_status "/nonexistent/pv.journal" = Journal.Missing)
+
+let test_resume_status_empty_file () =
+  with_journal (fun path ->
+      Out_channel.with_open_bin path (fun _ -> ());
+      match Journal.resume_status path with
+      | Journal.Unusable why ->
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnostic names the emptiness: %s" why)
+          true
+          (contains ~sub:"empty" why)
+      | _ -> Alcotest.fail "zero-byte checkpoint must be Unusable")
+
+let test_resume_status_fully_torn () =
+  (* A journal killed during its very first append holds only torn bytes:
+     no complete record to resume from, and the preflight must say so
+     rather than silently re-running everything. *)
+  with_journal (fun path ->
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"a" 1;
+      Journal.close w;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun ch ->
+          Out_channel.output_string ch (String.sub full 0 7));
+      match Journal.resume_status path with
+      | Journal.Unusable why ->
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnostic names the tear: %s" why)
+          true
+          (contains ~sub:"no complete record" why)
+      | _ -> Alcotest.fail "fully-torn checkpoint must be Unusable")
+
+let test_resume_status_usable () =
+  with_journal (fun path ->
+      let w = Journal.open_writer path in
+      Journal.append w ~key:"a" 1;
+      Journal.append w ~key:"b" 2;
+      Journal.close w;
+      Alcotest.(check bool) "counts complete records" true
+        (Journal.resume_status path = Journal.Usable 2))
+
 (* --- supervised sweeps ------------------------------------------------ *)
 
 let test_sweep_clean () =
@@ -323,6 +368,10 @@ let suite =
         Alcotest.test_case "resume-after-tear truncates then appends" `Quick
           test_journal_resume_after_tear;
         Alcotest.test_case "missing file" `Quick test_journal_missing_file;
+        Alcotest.test_case "resume preflight: missing" `Quick test_resume_status_missing;
+        Alcotest.test_case "resume preflight: zero-byte" `Quick test_resume_status_empty_file;
+        Alcotest.test_case "resume preflight: fully torn" `Quick test_resume_status_fully_torn;
+        Alcotest.test_case "resume preflight: usable" `Quick test_resume_status_usable;
       ] );
     ( "supervise.sweeps",
       [
