@@ -38,6 +38,10 @@ let no_cache = ref false
 
 let cache_stats = ref false
 
+let bench_out : string option ref = ref None
+
+let bench_guard = ref false
+
 (* The persistent result cache (used by the supervised fig-9.3-tail section;
    a warm run skips the expensive service-time calibrations). *)
 let rescache () =
@@ -224,6 +228,114 @@ let service_section () =
       if !cache_stats then Option.iter Pv_util.Rescache.report cache)
 
 (* ------------------------------------------------------------------ *)
+(* Cycle-loop microbenchmark: the BENCH_<date>.json trajectory          *)
+(* ------------------------------------------------------------------ *)
+
+module Benchjson = Pv_util.Benchjson
+
+(* The trajectory cells are PINNED — fixed workloads, schemes, seed and
+   scale, independent of --quick/--scale — so simulated-cycles/sec is
+   comparable across PRs.  Changing any input here breaks the trajectory;
+   start a new label instead. *)
+let bench_scale = 0.5
+
+let bench_lebench = [ "read"; "select"; "poll" ]
+
+let bench_schemes = [ "UNSAFE"; "FENCE"; "PERSPECTIVE" ]
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let measure_cell ~workload ~scheme run =
+  let t0 = Unix.gettimeofday () in
+  let r : E.Perf.run = run () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Benchjson.cell ~workload ~scheme ~sim_cycles:r.E.Perf.cycles
+    ~committed:r.E.Perf.committed ~wall_s
+
+let cycles_section () =
+  section "cycles" "Pipeline cycle-loop microbenchmark" (fun () ->
+      let variants = List.map E.Schemes.find bench_schemes in
+      let cells =
+        List.concat_map
+          (fun name ->
+            let test = Pv_workloads.Lebench.find name in
+            List.map
+              (fun (v : E.Schemes.variant) ->
+                measure_cell ~workload:name ~scheme:v.E.Schemes.label (fun () ->
+                    E.Perf.run_lebench ~scale:bench_scale v test))
+              variants)
+          bench_lebench
+        @ List.map
+            (fun (v : E.Schemes.variant) ->
+              measure_cell ~workload:"httpd" ~scheme:v.E.Schemes.label (fun () ->
+                  E.Perf.run_app ~scale:bench_scale v Pv_workloads.Apps.httpd))
+            variants
+      in
+      let date = today () in
+      let entry = Benchjson.make ~date ~label:"cycles" ~scale:bench_scale ~jobs:1 cells in
+      let tab =
+        Tab.create ~title:"Pipeline cycle-loop speed (pinned cells, serial)"
+          ~header:
+            [
+              ("Workload", Tab.Left); ("Scheme", Tab.Left); ("Sim cycles", Tab.Right);
+              ("Committed", Tab.Right); ("Wall s", Tab.Right); ("Mcycles/s", Tab.Right);
+            ]
+      in
+      List.iter
+        (fun (c : Benchjson.cell) ->
+          Tab.row tab
+            [
+              c.Benchjson.workload; c.Benchjson.scheme;
+              string_of_int c.Benchjson.sim_cycles; string_of_int c.Benchjson.committed;
+              Printf.sprintf "%.3f" c.Benchjson.wall_s;
+              Printf.sprintf "%.2f" (c.Benchjson.cps /. 1e6);
+            ])
+        entry.Benchjson.cells;
+      Tab.caption tab
+        (Printf.sprintf "aggregate: %d simulated cycles in %.3f s = %.2f Mcycles/s"
+           entry.Benchjson.total_sim_cycles entry.Benchjson.total_wall_s
+           (entry.Benchjson.agg_cps /. 1e6));
+      Tab.print tab;
+      let path =
+        match !bench_out with Some p -> p | None -> Benchjson.filename ~date
+      in
+      (match Benchjson.validate entry with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "BENCH: refusing to emit invalid entry: %s\n%!" msg;
+        exit 3);
+      let prev =
+        Benchjson.latest_in
+          ~dir:(Filename.dirname path)
+          ~excluding:(Filename.basename path) ()
+      in
+      Benchjson.write ~path entry;
+      Printf.printf "\nBENCH: wrote %s (%.2f Mcycles/s aggregate)\n" path
+        (entry.Benchjson.agg_cps /. 1e6);
+      match prev with
+      | None -> Printf.printf "BENCH: no previous trajectory entry; guard skipped\n"
+      | Some prev_path -> (
+        match Benchjson.load ~path:prev_path with
+        | Error msg ->
+          Printf.eprintf "BENCH: previous entry %s unreadable (%s); guard skipped\n%!"
+            prev_path msg
+        | Ok prev ->
+          let delta = Benchjson.delta_pct ~prev ~cur:entry in
+          Printf.printf "BENCH: %+.1f%% cycles/sec vs %s (%.2f -> %.2f Mcycles/s)\n"
+            delta prev_path
+            (prev.Benchjson.agg_cps /. 1e6)
+            (entry.Benchjson.agg_cps /. 1e6);
+          if !bench_guard && delta < -20.0 then begin
+            Printf.eprintf
+              "BENCH: simulated-cycles/sec regressed %.1f%% (> 20%% guard) vs %s\n%!"
+              (-.delta) prev_path;
+            exit 3
+          end))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core primitives                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -359,13 +471,20 @@ let () =
     | "--cache-stats" :: rest ->
       cache_stats := true;
       parse rest
+    | "--bench-out" :: path :: rest ->
+      bench_out := Some path;
+      parse rest
+    | "--bench-guard" :: rest ->
+      bench_guard := true;
+      parse rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
          usage: main.exe [--quick] [--scale F] [--only LABEL] [-j N] [--no-bechamel] [--csv DIR]\n\
         \       [--metrics FILE.json] [--trace-dir DIR] [--cache DIR] [--no-cache] [--cache-stats]\n\
+        \       [--bench-out FILE.json] [--bench-guard]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
-        \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks comparisons sensitivity\n"
+        \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks comparisons sensitivity cycles\n"
         arg;
       exit 2
   in
@@ -377,5 +496,6 @@ let () =
   poc_section ();
   perf_sections ();
   service_section ();
+  cycles_section ();
   if !run_bechamel && !only = None then bechamel_suite ();
   Printf.printf "\nDone.\n"

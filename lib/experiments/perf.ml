@@ -39,8 +39,8 @@ let profile_reps = 25
    parallel matrices below ship these to worker domains.  [fuel] is the
    supervisor's cycle budget; a run that exhausts it raises the structured
    Machine.Run_timeout instead of spinning forever. *)
-let execute ?fuel ?(trace = false) ~seed ~block_unknown ~view_cache_entries ~syscalls
-    ~sequence ~iterations ~user_work ~workload_name (variant : Schemes.variant) =
+let execute ?fuel ?(trace = false) ?on_commit ~seed ~block_unknown ~view_cache_entries
+    ~syscalls ~sequence ~iterations ~user_work ~workload_name (variant : Schemes.variant) =
   let pipe_config = variant.Schemes.transform Pipeline.default_config in
   let pipe_config = { pipe_config with Pipeline.trace_events = trace } in
   let plant_gadgets =
@@ -51,7 +51,7 @@ let execute ?fuel ?(trace = false) ~seed ~block_unknown ~view_cache_entries ~sys
       false
   in
   let m, h, result, delta =
-    Machine.run_job ?fuel
+    Machine.run_job ?fuel ?on_commit
       (Machine.job ~pipe_config ~profile:sequence ~profile_reps ~plant_gadgets
          ~block_unknown ~isv_cache_entries:view_cache_entries
          ~dsv_cache_entries:view_cache_entries ~seed ~syscalls ~name:workload_name
@@ -114,17 +114,17 @@ let execute ?fuel ?(trace = false) ~seed ~block_unknown ~view_cache_entries ~sys
   }
 
 let run_lebench ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
-    ?(view_cache_entries = 128) ?fuel ?trace variant test =
+    ?(view_cache_entries = 128) ?fuel ?trace ?on_commit variant test =
   let test = Lebench.scaled test ~factor:scale in
-  execute ?fuel ?trace ~seed ~block_unknown ~view_cache_entries
+  execute ?fuel ?trace ?on_commit ~seed ~block_unknown ~view_cache_entries
     ~syscalls:Lebench.all_syscalls ~sequence:test.Lebench.sequence
     ~iterations:test.Lebench.iterations ~user_work:test.Lebench.user_work
     ~workload_name:test.Lebench.name variant
 
 let run_app ?(seed = 42) ?(scale = 1.0) ?(block_unknown = true)
-    ?(view_cache_entries = 128) ?fuel ?trace variant app =
+    ?(view_cache_entries = 128) ?fuel ?trace ?on_commit variant app =
   let app = Apps.scaled app ~factor:scale in
-  execute ?fuel ?trace ~seed ~block_unknown ~view_cache_entries
+  execute ?fuel ?trace ?on_commit ~seed ~block_unknown ~view_cache_entries
     ~syscalls:Apps.all_syscalls ~sequence:app.Apps.request
     ~iterations:app.Apps.requests ~user_work:app.Apps.user_work
     ~workload_name:app.Apps.name variant

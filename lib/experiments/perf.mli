@@ -41,12 +41,15 @@ val run_lebench :
   ?view_cache_entries:int ->
   ?fuel:int ->
   ?trace:bool ->
+  ?on_commit:(int -> int -> Pv_isa.Insn.t -> unit) ->
   Schemes.variant ->
   Pv_workloads.Lebench.test ->
   run
 (** [fuel] bounds the run's cycles (default: the machine watchdog); a run
     that exhausts it raises {!Pv_sim.Machine.Run_timeout}.  [trace] turns on
-    the pipeline's bounded event ring and fills the run's [events]. *)
+    the pipeline's bounded event ring and fills the run's [events].
+    [on_commit] observes the architectural commit stream (equivalence
+    suite). *)
 
 val run_app :
   ?seed:int ->
@@ -55,6 +58,7 @@ val run_app :
   ?view_cache_entries:int ->
   ?fuel:int ->
   ?trace:bool ->
+  ?on_commit:(int -> int -> Pv_isa.Insn.t -> unit) ->
   Schemes.variant ->
   Pv_workloads.Apps.app ->
   run

@@ -82,8 +82,8 @@ let snapshot t =
   Metrics.set_float reg "costmodel.mean_cycles" t.mean_cycles;
   Metrics.set_float reg "costmodel.min_cycles" t.samples.(0);
   Metrics.set_float reg "costmodel.max_cycles" t.samples.(Array.length t.samples - 1);
-  Metrics.declare_hist reg "costmodel.service_cycles";
+  let h = Metrics.hist reg "costmodel.service_cycles" in
   Array.iter
-    (fun s -> Metrics.observe reg "costmodel.service_cycles" (int_of_float (Float.round s)))
+    (fun s -> Metrics.hist_observe h (int_of_float (Float.round s)))
     t.samples;
   Metrics.snapshot reg

@@ -60,8 +60,8 @@ let percentile t ~p =
 let percentile_opt t ~p = if t.n = 0 then None else Some (percentile t ~p)
 
 let observe_metrics reg ~prefix t =
-  Metrics.declare_hist reg prefix;
+  let h = Metrics.hist reg prefix in
   for i = 0 to t.n - 1 do
-    Metrics.observe reg prefix (int_of_float (Float.round t.buf.(i)))
+    Metrics.hist_observe h (int_of_float (Float.round t.buf.(i)))
   done;
   Metrics.set_int reg (prefix ^ ".count") t.n

@@ -263,7 +263,7 @@ let install_defense t ?(gadget_nodes = []) ?(block_unknown = true)
   t.defense <- Some d;
   Pipeline.set_guard (pipeline t) (Perspective.Defense.guard d)
 
-let hooks_for t h =
+let hooks_for ?on_commit t h =
   let on_syscall regs =
     let nr = regs.(0) in
     if nr < 0 || nr >= Pv_kernel.Sysno.count then Iss.Skip
@@ -303,9 +303,9 @@ let hooks_for t h =
     regs.(15) <- t.pending_ret;
     Iss.Skip
   in
-  { Pipeline.on_syscall; on_sysret; on_commit = None }
+  { Pipeline.on_syscall; on_sysret; on_commit }
 
-let run ?fuel ?regs t h =
+let run ?fuel ?regs ?on_commit t h =
   let pipe = pipeline t in
   (* The machine-level watchdog: a full run spans many syscalls, so its
      default budget is twice the pipeline's per-run [max_cycles] (with the
@@ -315,7 +315,7 @@ let run ?fuel ?regs t h =
   in
   let before = Pipeline.copy_counters (Pipeline.counters pipe) in
   let result =
-    Pipeline.run ?regs ~fuel ~hooks:(hooks_for t h) pipe ~asid:(Process.asid h.proc)
+    Pipeline.run ?regs ~fuel ~hooks:(hooks_for ?on_commit t h) pipe ~asid:(Process.asid h.proc)
       ~start:h.entry_fid_v
   in
   let delta = Pipeline.diff_counters (Pipeline.counters pipe) before in
@@ -385,7 +385,7 @@ let job ?(pipe_config = Pipeline.default_config) ?(profile = []) ?(profile_reps 
     job_dsv_cache_entries = dsv_cache_entries;
   }
 
-let run_job ?fuel (j : job) =
+let run_job ?fuel ?on_commit (j : job) =
   let m = create ~pipe_config:j.job_pipe_config ~seed:j.job_seed ~syscalls:j.job_syscalls () in
   let h = add_process m ~name:j.job_name ~user_funcs:j.job_user_funcs ~entry:j.job_entry in
   freeze m;
@@ -400,5 +400,5 @@ let run_job ?fuel (j : job) =
   install_defense m ~gadget_nodes ~block_unknown:j.job_block_unknown
     ~isv_cache_entries:j.job_isv_cache_entries ~dsv_cache_entries:j.job_dsv_cache_entries
     j.job_scheme;
-  let result, delta = run ?fuel m h in
+  let result, delta = run ?fuel ?on_commit m h in
   (m, h, result, delta)

@@ -76,13 +76,16 @@ val view_manager : t -> Perspective.View_manager.t
 val run :
   ?fuel:int ->
   ?regs:int array ->
+  ?on_commit:(int -> int -> Pv_isa.Insn.t -> unit) ->
   t ->
   handle ->
   Pv_uarch.Pipeline.result * Pv_uarch.Pipeline.counters
 (** Execute the process's user entry until [Halt]; returns the result and
     this run's counter delta.  [fuel] defaults to twice the pipeline
     config's [max_cycles] watchdog (a full run spans many syscalls), i.e.
-    40M cycles with the stock config. *)
+    40M cycles with the stock config.  [on_commit] observes every committed
+    [(fid, idx, insn)] in architectural order — the equivalence suite uses
+    it to digest the commit stream of a full machine run. *)
 
 exception Run_timeout of { name : string; cycles : int; committed : int }
 (** A run hit its cycle-fuel watchdog: the structured form of a livelocked
@@ -143,6 +146,7 @@ val job :
 
 val run_job :
   ?fuel:int ->
+  ?on_commit:(int -> int -> Pv_isa.Insn.t -> unit) ->
   job ->
   t * handle * Pv_uarch.Pipeline.result * Pv_uarch.Pipeline.counters
 (** Build a fresh machine from the job spec and execute it; the returned

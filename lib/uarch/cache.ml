@@ -38,18 +38,15 @@ let latency t = t.latency
 let sets t = t.nsets
 let ways t = t.nways
 
-let locate t addr =
-  let line = addr / t.line_bytes in
-  let set = line mod t.nsets in
-  let tag = line / t.nsets in
-  (t.sets.(set), tag)
-
-let find set tag =
+(* Way index of [tag] in [set], -1 when absent — index-based so the hit
+   path (one lookup per simulated memory access) allocates nothing. *)
+let find_idx set tag =
   let n = Array.length set in
   let rec go i =
-    if i = n then None
-    else if set.(i).valid && set.(i).tag = tag then Some set.(i)
-    else go (i + 1)
+    if i >= n then -1
+    else
+      let w = Array.unsafe_get set i in
+      if w.valid && w.tag = tag then i else go (i + 1)
   in
   go 0
 
@@ -73,39 +70,53 @@ let fill t set tag =
   bump t w
 
 let access t addr =
-  let set, tag = locate t addr in
-  match find set tag with
-  | Some w ->
+  let line = addr / t.line_bytes in
+  let set = t.sets.(line mod t.nsets) in
+  let tag = line / t.nsets in
+  let i = find_idx set tag in
+  if i >= 0 then begin
     t.hits <- t.hits + 1;
-    bump t w;
+    bump t (Array.unsafe_get set i);
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     fill t set tag;
     false
+  end
 
 let access_no_lru t addr =
-  let set, tag = locate t addr in
-  match find set tag with
-  | Some _ ->
+  let line = addr / t.line_bytes in
+  let set = t.sets.(line mod t.nsets) in
+  let tag = line / t.nsets in
+  if find_idx set tag >= 0 then begin
     t.hits <- t.hits + 1;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     fill t set tag;
     false
+  end
 
 let touch t addr =
-  let set, tag = locate t addr in
-  match find set tag with Some w -> bump t w | None -> ()
+  let line = addr / t.line_bytes in
+  let set = t.sets.(line mod t.nsets) in
+  let tag = line / t.nsets in
+  let i = find_idx set tag in
+  if i >= 0 then bump t (Array.unsafe_get set i)
 
 let probe t addr =
-  let set, tag = locate t addr in
-  match find set tag with Some _ -> true | None -> false
+  let line = addr / t.line_bytes in
+  let tag = line / t.nsets in
+  find_idx t.sets.(line mod t.nsets) tag >= 0
 
 let flush_line t addr =
-  let set, tag = locate t addr in
-  match find set tag with Some w -> w.valid <- false | None -> ()
+  let line = addr / t.line_bytes in
+  let set = t.sets.(line mod t.nsets) in
+  let tag = line / t.nsets in
+  let i = find_idx set tag in
+  if i >= 0 then (Array.unsafe_get set i).valid <- false
 
 let flush_all t =
   Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.sets

@@ -56,20 +56,26 @@ let l1i t = t.l1i
 let l1d t = t.l1d
 let l2 t = t.l2
 
-let read_through t l1 key =
-  if Cache.access l1 key then (Cache.latency l1, true)
-  else if Cache.access t.l2 key then (Cache.latency l1 + Cache.latency t.l2, false)
-  else (Cache.latency l1 + Cache.latency t.l2 + t.dram_latency, false)
+(* Latency-only walk: the pipeline's per-cycle paths use this so a cache
+   access never allocates a result tuple. *)
+let read_lat t l1 key =
+  if Cache.access l1 key then Cache.latency l1
+  else if Cache.access t.l2 key then Cache.latency l1 + Cache.latency t.l2
+  else Cache.latency l1 + Cache.latency t.l2 + t.dram_latency
 
-let data_read t key = read_through t t.l1d key
+let data_read t key =
+  let l1_hit = Cache.probe t.l1d key in
+  (read_lat t t.l1d key, l1_hit)
 
-let data_write t key = ignore (read_through t t.l1d key)
+let data_read_lat t key = read_lat t t.l1d key
 
-let inst_read t key = fst (read_through t t.l1i key)
+let data_write t key = ignore (read_lat t t.l1d key)
+
+let inst_read t key = read_lat t t.l1i key
 
 let would_hit_l1d t key = Cache.probe t.l1d key
 
-let reload_latency t key = fst (data_read t key)
+let reload_latency t key = data_read_lat t key
 
 let flush_line t key =
   Cache.flush_line t.l1i key;

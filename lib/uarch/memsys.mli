@@ -35,6 +35,10 @@ val data_read : t -> int -> int * bool
     L1D hit?) and updates all levels (fills on miss).  The architectural value
     is read separately via {!Pv_isa.Mem}. *)
 
+val data_read_lat : t -> int -> int
+(** {!data_read} without the hit flag (and without allocating the result
+    pair) — the load path the pipeline's cycle loop uses. *)
+
 val data_write : t -> int -> unit
 (** Write-allocate access performed at store commit (timing ignored). *)
 

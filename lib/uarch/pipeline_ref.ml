@@ -1,3 +1,11 @@
+(* Frozen record-based reference pipeline: a verbatim copy of the seed
+   [Pipeline] implementation, kept as the equivalence oracle for the
+   int-packed/preallocated fast path that replaced it.  The equivalence and
+   QCheck suites (test_equiv.ml, test_pipeline.ml) run programs through both
+   and assert identical commit streams, cycle counts, architectural state and
+   stall attribution.  Do not optimize this module — its value is that it
+   stays byte-for-byte the seed model. *)
+
 module Insn = Pv_isa.Insn
 module Layout = Pv_isa.Layout
 module Program = Pv_isa.Program
@@ -207,132 +215,41 @@ let observe_metrics reg c =
   set "pipeline.stall.total" c.stall_total;
   List.iter (fun (name, v) -> set ("pipeline.stall." ^ name) v) (stall_classes c)
 
-(* ------------------------------------------------------------------ *)
-(* Packed entry flags                                                   *)
-(* ------------------------------------------------------------------ *)
+type estate = Waiting | Issued | Completed
 
-(* Every boolean and small-enum field of a ROB entry lives in one immediate
-   int, so the cycle loop tests and updates them with mask arithmetic on a
-   single word instead of loading a spread of record fields.  Layout:
-
-     bits 0-1   state         (0 waiting, 1 issued, 2 completed)
-     bit  2     is_ctrl
-     bit  3     pred_taken
-     bit  4     actual_taken
-     bit  5     resolved
-     bit  6     spec_at_issue
-     bit  7     vp_done
-     bit  8     addr_known
-     bit  9     kernel
-     bits 10-11 blocked_src   (0 none, 1 isv, 2 dsv, 3 baseline)
-     bit  12    is_load       (instruction class, fixed at dispatch: the
-     bit  13    is_store       per-entry scans test these instead of
-     bit  14    is_fence       matching on the instruction variant)
-
-   The encoding is exposed in the mli so property tests can prove that any
-   combination of fields round-trips and that fields never alias. *)
-module Pack = struct
-  type t = int
-
-  let bits = 15
-  let empty = 0
-
-  let state_waiting = 0
-  let state_issued = 1
-  let state_completed = 2
-
-  let blocked_none = 0
-  let blocked_isv = 1
-  let blocked_dsv = 2
-  let blocked_baseline = 3
-
-  let state f = f land 0x3
-  let with_state f s = f land lnot 0x3 lor s
-
-  let is_ctrl f = f land 0x4 <> 0
-  let with_is_ctrl f b = if b then f lor 0x4 else f land lnot 0x4
-
-  let pred_taken f = f land 0x8 <> 0
-  let with_pred_taken f b = if b then f lor 0x8 else f land lnot 0x8
-
-  let actual_taken f = f land 0x10 <> 0
-  let with_actual_taken f b = if b then f lor 0x10 else f land lnot 0x10
-
-  let resolved f = f land 0x20 <> 0
-  let with_resolved f b = if b then f lor 0x20 else f land lnot 0x20
-
-  let spec_at_issue f = f land 0x40 <> 0
-  let with_spec_at_issue f b = if b then f lor 0x40 else f land lnot 0x40
-
-  let vp_done f = f land 0x80 <> 0
-  let with_vp_done f b = if b then f lor 0x80 else f land lnot 0x80
-
-  let addr_known f = f land 0x100 <> 0
-  let with_addr_known f b = if b then f lor 0x100 else f land lnot 0x100
-
-  let kernel f = f land 0x200 <> 0
-  let with_kernel f b = if b then f lor 0x200 else f land lnot 0x200
-
-  let blocked_src f = (f lsr 10) land 0x3
-  let with_blocked_src f s = f land lnot 0xC00 lor (s lsl 10)
-
-  let is_load f = f land 0x1000 <> 0
-  let with_is_load f b = if b then f lor 0x1000 else f land lnot 0x1000
-
-  let is_store f = f land 0x2000 <> 0
-  let with_is_store f b = if b then f lor 0x2000 else f land lnot 0x2000
-
-  let is_fence f = f land 0x4000 <> 0
-  let with_is_fence f b = if b then f lor 0x4000 else f land lnot 0x4000
-end
-
-let blocked_code_of_source = function
-  | Guard.Isv -> Pack.blocked_isv
-  | Guard.Dsv -> Pack.blocked_dsv
-  | Guard.Baseline -> Pack.blocked_baseline
-
-(* ROB entries are preallocated once per pipeline and reused in place: the
-   cycle loop never allocates one.  All scalar fields are mutable ints (the
-   packed [flags] word holds the booleans); only the squash snapshots
-   ([stack_snap], [tage_meta]) and the rare [fault] remain boxed. *)
 type entry = {
-  mutable seq : int;
-  mutable e_fid : int;
-  mutable e_idx : int;
-  mutable va : int;
-  mutable insn : Insn.t;
-  mutable dest : int;
-  (* flattened operands: seq of in-flight producer (-1 when the value is
-     captured) and the captured value, for each of the two source slots *)
-  mutable src_seq0 : int;
-  mutable src_seq1 : int;
-  mutable src_val0 : int;
-  mutable src_val1 : int;
-  mutable flags : Pack.t;
+  seq : int;
+  e_fid : int;
+  e_idx : int;
+  va : int;
+  insn : Insn.t;
+  kernel : bool;
+  dest : int;
+  src_reg : int array; (* -1 for unused slots *)
+  src_seq : int array;
+  src_val : int array;
+  mutable state : estate;
   mutable done_at : int;
   mutable value : int;
   mutable eff_addr : int;
+  mutable addr_known : bool;
   mutable store_val : int;
+  is_ctrl : bool;
+  mutable pred_taken : bool;
   mutable pred_target_va : int; (* -1 when fetch stalled on this entry *)
+  mutable actual_taken : bool;
   mutable actual_target_va : int;
+  mutable resolved : bool;
   mutable tage_meta : Tage.meta option;
   mutable ghr_snap : int;
   mutable stack_snap : int list;
   mutable depth_snap : int;
   mutable ret_target : int;
   mutable ret_depth : int;
+  mutable blocked_src : Guard.source option;
+  mutable spec_at_issue : bool;
+  mutable vp_done : bool;
   mutable taint_root : int;
-  (* Dataflow parking: the value of [t.wake_epoch] at the last issue attempt
-     that failed purely on unavailable operands (-1 = not parked).  While the
-     stamp still matches, re-attempting is provably a no-op — a failed
-     operand capture has no side effects and its outcome can only change
-     when some entry completes — so the scan skips the whole dispatch. *)
-  mutable park_stamp : int;
-  (* Sharper parking for operand waits: the seq of the producer the failed
-     capture short-circuited on (-1 = none).  The dispatch attempt is skipped
-     with a single state test until that producer completes or retires, so an
-     unrelated completion does not wake the whole ROB. *)
-  mutable park_seq : int;
   mutable fault : string option;
 }
 
@@ -375,17 +292,11 @@ type t = {
   ctrs : counters;
   mutable guard : Guard.t;
   (* run state *)
-  rob : entry array; (* preallocated pool; head/count delimit the live window *)
+  rob : entry option array;
   retired_seq : int array;
   retired_val : int array;
   arf : int array;
   rat : int array;
-  (* store-to-load forwarding scratch, rebuilt by each issue pass: word
-     addresses and values of older address-known stores, oldest first (so a
-     backward scan finds the youngest match).  Bounded by [sq_entries]. *)
-  fwd_word : int array;
-  fwd_val : int array;
-  mutable fwd_len : int;
   mutable head : int;
   mutable count : int;
   mutable next_seq : int;
@@ -399,27 +310,6 @@ type t = {
   mutable commit_depth : int;
   mutable lq_used : int;
   mutable sq_used : int;
-  (* Lower bound on the earliest [done_at] of any Issued entry: the
-     completion scan runs only when a completion can actually be due, so a
-     long-latency stall (DRAM, fence) costs no per-cycle ROB walks. *)
-  mutable next_done_at : int;
-  (* Issue-scan elision bookkeeping (see [issue_step]): the whole pass is
-     skipped when every Waiting entry is parked under the current completion
-     epoch, no load is awaiting its visibility-point transition, and no
-     guard-blocked load needs its per-cycle re-query. *)
-  mutable wake_epoch : int; (* bumped on completion, store issue, store retire *)
-  (* Actionable list: seqs (strictly increasing) of the entries the issue
-     scan still needs to visit — Waiting entries, in-flight stores (they
-     feed store-to-load forwarding until retirement), unresolved controls,
-     incomplete fences and loads short of their visibility point.  Entries
-     are appended at dispatch and dropped lazily once no future visit can
-     matter, so the scan walks this list instead of the whole ROB. *)
-  act : int array;
-  mutable act_len : int;
-  mutable waiting_count : int; (* entries in state Waiting *)
-  mutable parked_current : int; (* Waiting entries parked at this epoch *)
-  mutable vp_pending : int; (* issued/completed loads without vp_done *)
-  mutable blocked_waiting : int; (* Waiting loads parked by the guard *)
   mutable now : int;
   mutable asid : int;
   mutable kernel_mode : bool;
@@ -430,37 +320,6 @@ type t = {
   trace_buf : event array;
   mutable trace_count : int;
 }
-
-let fresh_entry () =
-  {
-    seq = -1;
-    e_fid = 0;
-    e_idx = 0;
-    va = 0;
-    insn = Insn.Nop;
-    dest = -1;
-    src_seq0 = -1;
-    src_seq1 = -1;
-    src_val0 = 0;
-    src_val1 = 0;
-    flags = Pack.empty;
-    done_at = 0;
-    value = 0;
-    eff_addr = 0;
-    store_val = 0;
-    pred_target_va = -1;
-    actual_target_va = -1;
-    tage_meta = None;
-    ghr_snap = 0;
-    stack_snap = [];
-    depth_snap = 0;
-    ret_target = -1;
-    ret_depth = 0;
-    taint_root = -1;
-    park_stamp = -1;
-    park_seq = -1;
-    fault = None;
-  }
 
 let create ?(config = default_config) memsys prog =
   let cap = config.rob_entries in
@@ -473,14 +332,11 @@ let create ?(config = default_config) memsys prog =
     ras = Ras.create ~entries:config.ras_entries ();
     ctrs = zero_counters ();
     guard = Guard.allow_all;
-    rob = Array.init cap (fun _ -> fresh_entry ());
+    rob = Array.make cap None;
     retired_seq = Array.make cap (-1);
     retired_val = Array.make cap 0;
     arf = Array.make Insn.num_regs 0;
     rat = Array.make Insn.num_regs (-1);
-    fwd_word = Array.make (max 1 config.sq_entries) 0;
-    fwd_val = Array.make (max 1 config.sq_entries) 0;
-    fwd_len = 0;
     head = 0;
     count = 0;
     next_seq = 0;
@@ -494,14 +350,6 @@ let create ?(config = default_config) memsys prog =
     commit_depth = 0;
     lq_used = 0;
     sq_used = 0;
-    next_done_at = max_int;
-    wake_epoch = 0;
-    act = Array.make (2 * cap) 0;
-    act_len = 0;
-    waiting_count = 0;
-    parked_current = 0;
-    vp_pending = 0;
-    blocked_waiting = 0;
     now = 0;
     asid = 0;
     kernel_mode = false;
@@ -567,18 +415,21 @@ let head_seq t = t.next_seq - t.count
 
 let pos_of_seq t s = s - head_seq t
 
-(* [pos] is always within the live window, and head + pos < 2*capacity, so
-   the ring wrap is a compare-and-subtract rather than a division. *)
 let entry_at t pos =
-  let c = Array.length t.rob in
-  let i = t.head + pos in
-  Array.unsafe_get t.rob (if i >= c then i - c else i)
+  match t.rob.((t.head + pos) mod cap t) with
+  | Some e -> e
+  | None -> assert false
 
 let func_space t fid = (Program.func t.prog fid).Program.space
 
 let is_kernel_fid t fid = func_space t fid = Layout.Kernel
 
 let insn_va_of t fid idx = Layout.insn_va (func_space t fid) fid idx
+
+(* Retire-value lookup for operands whose producer already committed. *)
+let retired_value t s =
+  let slot = s mod cap t in
+  if t.retired_seq.(slot) = s then Some t.retired_val.(slot) else None
 
 (* A taint root is an in-flight speculative load that has not yet reached its
    Visibility Point. *)
@@ -589,32 +440,7 @@ let root_active t root =
     if pos < 0 || pos >= t.count then false
     else
       let e = entry_at t pos in
-      e.seq = root && not (Pack.vp_done e.flags)
-
-(* Whether an entry still needs issue-scan visits.  False is final: an
-   issued non-load (other than stores, unresolved controls and incomplete
-   fences) and a load past its visibility point can never matter to a later
-   pass, so it can leave the actionable list for good. *)
-let act_keep fl =
-  Pack.state fl = Pack.state_waiting
-  || (Pack.is_load fl && not (Pack.vp_done fl))
-  || Pack.is_store fl
-  || (Pack.is_ctrl fl && not (Pack.resolved fl))
-  || (Pack.is_fence fl && Pack.state fl <> Pack.state_completed)
-
-(* Squeeze retired and drop-safe seqs out of the actionable list; called when
-   an append finds the array full (the live subset always fits). *)
-let compact_act t =
-  let out = ref 0 in
-  for k = 0 to t.act_len - 1 do
-    let seq = t.act.(k) in
-    let pos = pos_of_seq t seq in
-    if pos >= 0 && pos < t.count && act_keep (entry_at t pos).flags then begin
-      t.act.(!out) <- seq;
-      incr out
-    end
-  done;
-  t.act_len <- !out
+      e.seq = root && not e.vp_done
 
 let src_info insn =
   (* (dest, src0, src1) register indices, -1 when absent. *)
@@ -631,86 +457,59 @@ let src_info insn =
   | Insn.Icall r -> (-1, r, -1)
   | Insn.Flush (ra, _) -> (-1, ra, -1)
 
-(* Reinitialize the pool entry at the ROB tail — the allocation-free
-   equivalent of the seed model's fresh record per fetched instruction.
-   [va] is the already-computed VA of (fid, idx). *)
-let make_entry t fid idx ~va insn =
+let make_entry t fid idx insn =
   let dest, s0, s1 = src_info insn in
-  let e = entry_at t t.count in
+  let src_reg = [| s0; s1 |] in
+  let src_seq = [| -1; -1 |] in
+  let src_val = [| 0; 0 |] in
+  for i = 0 to 1 do
+    let r = src_reg.(i) in
+    if r >= 0 then
+      if t.rat.(r) >= 0 then src_seq.(i) <- t.rat.(r) else src_val.(i) <- t.arf.(r)
+  done;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  e.seq <- seq;
-  e.e_fid <- fid;
-  e.e_idx <- idx;
-  e.va <- va;
-  e.insn <- insn;
-  e.dest <- dest;
-  (if s0 >= 0 then begin
-     let p = t.rat.(s0) in
-     if p >= 0 then begin
-       e.src_seq0 <- p;
-       e.src_val0 <- 0
-     end
-     else begin
-       e.src_seq0 <- -1;
-       e.src_val0 <- t.arf.(s0)
-     end
-   end
-   else begin
-     e.src_seq0 <- -1;
-     e.src_val0 <- 0
-   end);
-  (if s1 >= 0 then begin
-     let p = t.rat.(s1) in
-     if p >= 0 then begin
-       e.src_seq1 <- p;
-       e.src_val1 <- 0
-     end
-     else begin
-       e.src_seq1 <- -1;
-       e.src_val1 <- t.arf.(s1)
-     end
-   end
-   else begin
-     e.src_seq1 <- -1;
-     e.src_val1 <- 0
-   end);
-  e.flags <-
-    (let f =
-       Pack.with_kernel
-         (Pack.with_is_ctrl Pack.empty
-            (match insn with
-            | Insn.Branch _ | Insn.Icall _ | Insn.Ret -> true
-            | _ -> false))
-         (is_kernel_fid t fid)
-     in
-     match insn with
-     | Insn.Load _ -> Pack.with_is_load f true
-     | Insn.Store _ -> Pack.with_is_store f true
-     | Insn.Fence -> Pack.with_is_fence f true
-     | _ -> f);
-  e.done_at <- 0;
-  e.value <- 0;
-  e.eff_addr <- 0;
-  e.store_val <- 0;
-  e.pred_target_va <- -1;
-  e.actual_target_va <- -1;
-  e.tage_meta <- None;
-  e.ghr_snap <- 0;
-  e.stack_snap <- [];
-  e.depth_snap <- 0;
-  e.ret_target <- -1;
-  e.ret_depth <- 0;
-  e.taint_root <- -1;
-  e.park_stamp <- -1;
-  e.park_seq <- -1;
-  e.fault <- None;
+  let e =
+    {
+      seq;
+      e_fid = fid;
+      e_idx = idx;
+      va = insn_va_of t fid idx;
+      insn;
+      kernel = is_kernel_fid t fid;
+      dest;
+      src_reg;
+      src_seq;
+      src_val;
+      state = Waiting;
+      done_at = 0;
+      value = 0;
+      eff_addr = 0;
+      addr_known = false;
+      store_val = 0;
+      is_ctrl =
+        (match insn with Insn.Branch _ | Insn.Icall _ | Insn.Ret -> true | _ -> false);
+      pred_taken = false;
+      pred_target_va = -1;
+      actual_taken = false;
+      actual_target_va = -1;
+      resolved = false;
+      tage_meta = None;
+      ghr_snap = 0;
+      stack_snap = [];
+      depth_snap = 0;
+      ret_target = -1;
+      ret_depth = 0;
+      blocked_src = None;
+      spec_at_issue = false;
+      vp_done = false;
+      taint_root = -1;
+      fault = None;
+    }
+  in
   if dest >= 0 then t.rat.(dest) <- seq;
+  t.rob.((t.head + t.count) mod cap t) <- Some e;
   t.count <- t.count + 1;
-  t.waiting_count <- t.waiting_count + 1;
-  if t.act_len >= Array.length t.act then compact_act t;
-  t.act.(t.act_len) <- seq;
-  t.act_len <- t.act_len + 1;
   (match insn with
   | Insn.Load _ -> t.lq_used <- t.lq_used + 1
   | Insn.Store _ -> t.sq_used <- t.sq_used + 1
@@ -728,28 +527,15 @@ let rebuild_rat t =
 let truncate_rob t pos =
   for i = pos + 1 to t.count - 1 do
     let e = entry_at t i in
-    let fl = e.flags in
     (match e.insn with
     | Insn.Load _ -> t.lq_used <- t.lq_used - 1
     | Insn.Store _ -> t.sq_used <- t.sq_used - 1
     | _ -> ());
-    if Pack.state fl = Pack.state_waiting then begin
-      t.waiting_count <- t.waiting_count - 1;
-      if e.park_stamp = t.wake_epoch then
-        t.parked_current <- t.parked_current - 1;
-      if Pack.blocked_src fl <> Pack.blocked_none then
-        t.blocked_waiting <- t.blocked_waiting - 1
-    end
-    else if Pack.is_load fl && not (Pack.vp_done fl) then
-      t.vp_pending <- t.vp_pending - 1
+    t.rob.((t.head + i) mod cap t) <- None
   done;
   let removed = t.count - pos - 1 in
   t.count <- pos + 1;
   t.next_seq <- t.next_seq - removed;
-  (* Squashed seqs are a suffix of the (sorted) actionable list. *)
-  while t.act_len > 0 && t.act.(t.act_len - 1) >= t.next_seq do
-    t.act_len <- t.act_len - 1
-  done;
   rebuild_rat t
 
 let redirect_fetch t va delay =
@@ -762,7 +548,7 @@ let redirect_fetch t va delay =
 (* Resolution of a completed control-flow instruction at ROB position [pos].
    Returns true if younger entries were squashed. *)
 let resolve_ctrl t pos e =
-  e.flags <- Pack.with_resolved e.flags true;
+  e.resolved <- true;
   let squash target_va restore_stack restore_depth restore_ghr =
     t.ctrs.squashes <- t.ctrs.squashes + 1;
     record_event t Ev_squash ~va:e.va ~seq:e.seq;
@@ -776,15 +562,11 @@ let resolve_ctrl t pos e =
   match e.insn with
   | Insn.Branch _ ->
     (match e.tage_meta with
-    | Some meta ->
-      Tage.update t.tage ~pc:e.va ~hist:e.ghr_snap meta
-        ~taken:(Pack.actual_taken e.flags)
+    | Some meta -> Tage.update t.tage ~pc:e.va ~hist:e.ghr_snap meta ~taken:e.actual_taken
     | None -> ());
-    if Pack.actual_taken e.flags <> Pack.pred_taken e.flags then begin
+    if e.actual_taken <> e.pred_taken then begin
       t.ctrs.branch_mispredicts <- t.ctrs.branch_mispredicts + 1;
-      let ghr' =
-        (e.ghr_snap lsl 1) lor (if Pack.actual_taken e.flags then 1 else 0)
-      in
+      let ghr' = (e.ghr_snap lsl 1) lor (if e.actual_taken then 1 else 0) in
       squash e.actual_target_va e.stack_snap e.depth_snap ghr';
       true
     end
@@ -844,35 +626,17 @@ let resolve_ctrl t pos e =
    control flow, oldest first.                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* No-op unless a completion can be due ([next_done_at] is a sound lower
-   bound: every issue site raises awareness via the end of [issue_step], and
-   entry removal only ever raises the true minimum).  When the scan does
-   run it recomputes the exact bound over the surviving entries — a squash
-   only removes entries younger than the stop position, so every survivor
-   was visited. *)
 let completion_step t =
-  if t.now >= t.next_done_at then begin
-    let nxt = ref max_int in
-    let i = ref 0 in
-    let stop = ref false in
-    while (not !stop) && !i < t.count do
-      let e = entry_at t !i in
-      if Pack.state e.flags = Pack.state_issued then begin
-        if e.done_at <= t.now then begin
-          e.flags <- Pack.with_state e.flags Pack.state_completed;
-          (* A completion opens a new parking epoch: operand captures that
-             failed before may now succeed, so every parked entry must
-             re-attempt. *)
-          t.wake_epoch <- t.wake_epoch + 1;
-          t.parked_current <- 0;
-          if Pack.is_ctrl e.flags then if resolve_ctrl t !i e then stop := true
-        end
-        else if e.done_at < !nxt then nxt := e.done_at
-      end;
-      incr i
-    done;
-    t.next_done_at <- !nxt
-  end
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < t.count do
+    let e = entry_at t !i in
+    if e.state = Issued && e.done_at <= t.now then begin
+      e.state <- Completed;
+      if e.is_ctrl then if resolve_ctrl t !i e then stop := true
+    end;
+    incr i
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Commit                                                               *)
@@ -887,20 +651,11 @@ let retire_bookkeeping t e =
     if t.rat.(e.dest) = e.seq then t.rat.(e.dest) <- -1
   end;
   (match e.insn with
-  | Insn.Load _ ->
-    t.lq_used <- t.lq_used - 1;
-    (* A load can retire without ever reaching its visibility point (it
-       completed and committed in the same cycle, before the issue scan). *)
-    if not (Pack.vp_done e.flags) then t.vp_pending <- t.vp_pending - 1
-  | Insn.Store _ ->
-    t.sq_used <- t.sq_used - 1;
-    (* A retiring store leaves the forwarding window: loads it was hiding
-       now access memory, so parked store-gated loads must re-attempt. *)
-    t.wake_epoch <- t.wake_epoch + 1;
-    t.parked_current <- 0
+  | Insn.Load _ -> t.lq_used <- t.lq_used - 1
+  | Insn.Store _ -> t.sq_used <- t.sq_used - 1
   | _ -> ());
-  let h = t.head + 1 in
-  t.head <- (if h >= cap t then 0 else h);
+  t.rob.(t.head) <- None;
+  t.head <- (t.head + 1) mod cap t;
   t.count <- t.count - 1
 
 let commit_step t =
@@ -908,7 +663,7 @@ let commit_step t =
   let stop = ref false in
   while (not !stop) && !budget > 0 && t.count > 0 && t.run_outcome = None do
     let e = entry_at t 0 in
-    if Pack.state e.flags <> Pack.state_completed then stop := true
+    if e.state <> Completed then stop := true
     else begin
       decr budget;
       (match e.fault with
@@ -916,15 +671,14 @@ let commit_step t =
       | None -> ());
       if t.run_outcome = None then begin
         t.ctrs.committed <- t.ctrs.committed + 1;
-        if Pack.kernel e.flags then
-          t.ctrs.committed_kernel <- t.ctrs.committed_kernel + 1;
+        if e.kernel then t.ctrs.committed_kernel <- t.ctrs.committed_kernel + 1;
         (match t.hooks.on_commit with
         | Some f -> f e.e_fid e.e_idx e.insn
         | None -> ());
         (match e.insn with
         | Insn.Load _ ->
           t.ctrs.committed_loads <- t.ctrs.committed_loads + 1;
-          if Pack.kernel e.flags then
+          if e.kernel then
             t.ctrs.committed_kernel_loads <- t.ctrs.committed_kernel_loads + 1
         | Insn.Store _ ->
           let key = Layout.phys_key ~asid:t.asid e.eff_addr in
@@ -993,59 +747,31 @@ let commit_step t =
 (* Issue                                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Operand capture, one specialized copy per source slot so the common case
-   (value already captured) is a single int compare. *)
-let capture_operand0 t e =
-  let s = e.src_seq0 in
+let capture_operand t e i =
+  (* Returns true when operand [i] is available (capturing it if needed). *)
+  let s = e.src_seq.(i) in
   if s < 0 then true
   else
     let pos = pos_of_seq t s in
-    if pos < 0 then begin
-      let slot = s mod cap t in
-      if t.retired_seq.(slot) = s then begin
-        e.src_val0 <- t.retired_val.(slot);
-        e.src_seq0 <- -1;
+    if pos < 0 then (
+      match retired_value t s with
+      | Some v ->
+        e.src_val.(i) <- v;
+        e.src_seq.(i) <- -1;
         true
-      end
-      else false
-    end
+      | None -> false)
     else
       let p = entry_at t pos in
-      if Pack.state p.flags = Pack.state_completed then begin
-        e.src_val0 <- p.value;
-        e.src_seq0 <- -1;
+      if p.state = Completed then begin
+        e.src_val.(i) <- p.value;
+        e.src_seq.(i) <- -1;
         if root_active t p.taint_root then
           e.taint_root <- max e.taint_root p.taint_root;
         true
       end
       else false
 
-let capture_operand1 t e =
-  let s = e.src_seq1 in
-  if s < 0 then true
-  else
-    let pos = pos_of_seq t s in
-    if pos < 0 then begin
-      let slot = s mod cap t in
-      if t.retired_seq.(slot) = s then begin
-        e.src_val1 <- t.retired_val.(slot);
-        e.src_seq1 <- -1;
-        true
-      end
-      else false
-    end
-    else
-      let p = entry_at t pos in
-      if Pack.state p.flags = Pack.state_completed then begin
-        e.src_val1 <- p.value;
-        e.src_seq1 <- -1;
-        if root_active t p.taint_root then
-          e.taint_root <- max e.taint_root p.taint_root;
-        true
-      end
-      else false
-
-let operands_ready t e = capture_operand0 t e && capture_operand1 t e
+let operands_ready t e = capture_operand t e 0 && capture_operand t e 1
 
 let count_fence t src =
   match src with
@@ -1055,202 +781,93 @@ let count_fence t src =
 
 let issue_load_to_memory t e ~speculative =
   let key = Layout.phys_key ~asid:t.asid e.eff_addr in
-  let lat = Memsys.data_read_lat t.memsys key in
+  let lat, _hit = Memsys.data_read t.memsys key in
   e.value <- Mem.load (Memsys.mem t.memsys) key;
   e.done_at <- t.now + lat;
-  t.vp_pending <- t.vp_pending + 1;
-  if Pack.blocked_src e.flags <> Pack.blocked_none then
-    t.blocked_waiting <- t.blocked_waiting - 1;
-  e.flags <-
-    Pack.with_spec_at_issue
-      (Pack.with_state e.flags Pack.state_issued)
-      speculative;
+  e.state <- Issued;
+  e.spec_at_issue <- speculative;
   if speculative then begin
     t.ctrs.spec_loads <- t.ctrs.spec_loads + 1;
     e.taint_root <- max e.taint_root e.seq
   end
 
-(* Youngest older store to [word], or -1: the scratch arrays are filled in
-   scan order (oldest first), so the backward scan matches the head-first
-   lookup of an assoc list consed youngest-first. *)
-let fwd_find t word =
-  let rec go j =
-    if j < 0 then -1
-    else if Array.unsafe_get t.fwd_word j = word then j
-    else go (j - 1)
-  in
-  go (t.fwd_len - 1)
-
-let fwd_push t word v =
-  t.fwd_word.(t.fwd_len) <- word;
-  t.fwd_val.(t.fwd_len) <- v;
-  t.fwd_len <- t.fwd_len + 1
-
-(* Park an entry whose operand capture failed purely (a producer has not
-   completed).  A failed capture has no side effects and its outcome can only
-   change when some entry completes, so the dispatch attempt is skipped until
-   the completion epoch moves. *)
-let park t e =
-  if e.park_stamp <> t.wake_epoch then begin
-    e.park_stamp <- t.wake_epoch;
-    t.parked_current <- t.parked_current + 1
-  end
-
-(* Operand-wait parking: additionally remember which producer the failed
-   capture short-circuited on, so only that producer's completion (or
-   retirement) wakes the entry — not every epoch bump. *)
-let park_dep t e =
-  e.park_seq <- (if e.src_seq0 >= 0 then e.src_seq0 else e.src_seq1);
-  park t e
-
-(* Exact serialization check for a fence at position [pos]: every strictly
-   older entry is completed.  Evaluated directly against the ROB prefix, and
-   only on a fence's (epoch-gated, hence rare) dispatch attempts. *)
-let older_all_completed t pos =
-  let rec go k =
-    k >= pos
-    || (Pack.state (entry_at t k).flags = Pack.state_completed && go (k + 1))
-  in
-  go 0
-
 let issue_step t =
-  (* The whole pass is elided when it is provably a no-op: every Waiting
-     entry is parked under the current completion epoch, no issued load is
-     awaiting its visibility-point transition, and no guard-blocked load
-     needs its per-cycle guard re-query (those re-queries mutate view-cache
-     statistics, so they are architecturally observable and cannot be
-     skipped).  Long DRAM and fence stalls then cost no ROB walk at all. *)
-  if
-    t.waiting_count = t.parked_current
-    && t.vp_pending = 0
-    && t.blocked_waiting = 0
-  then ()
-  else begin
   let budget = ref t.cfg.issue_width in
   let older_unresolved_ctrl = ref false in
   let older_fence_incomplete = ref false in
+  let all_older_completed = ref true in
   let older_store_unknown = ref false in
-  t.fwd_len <- 0;
-  let k = ref 0 in
-  let out = ref 0 in
-  (* Walk the actionable list (ascending seq = ROB order), compacting it in
-     place.  The running prefix flags stay exact because every entry that
-     can contribute to them is kept on the list.  Once the issue budget is
-     spent AND an older control is unresolved, the rest of the scan is
-     provably a no-op: both issue branches are budget-gated, visibility
-     points are disabled while speculative, and the running flags only feed
-     those disabled paths — so stop walking. *)
-  while !k < t.act_len && not (!budget = 0 && !older_unresolved_ctrl) do
-    let seq = Array.unsafe_get t.act !k in
-    let pos = pos_of_seq t seq in
-    (* A negative position is a retired store still on the list: drop it. *)
-    if pos >= 0 then begin
-    let e = entry_at t pos in
+  let store_fwd = ref [] in
+  (* (word address, value), youngest first *)
+  for i = 0 to t.count - 1 do
+    let e = entry_at t i in
     let speculative = !older_unresolved_ctrl in
     (* Visibility point: no older instruction can squash this one. *)
-    (let fl = e.flags in
-     let st = Pack.state fl in
-     if
-       Pack.is_load fl
-       && not (Pack.vp_done fl)
-       && (st = Pack.state_issued || st = Pack.state_completed)
-       && not speculative
-     then begin
-       e.flags <- Pack.with_vp_done fl true;
-       t.vp_pending <- t.vp_pending - 1;
-       match t.guard.Guard.notify_vp with
-       | Some f when Pack.addr_known fl ->
-         f ~insn_va:e.va ~addr:e.eff_addr ~asid:t.asid
-           ~kernel_mode:(Pack.kernel fl)
-       | Some _ | None -> ()
-     end);
     if
-      Pack.state e.flags = Pack.state_waiting
-      && !budget > 0
-      && not !older_fence_incomplete
+      Insn.is_load e.insn && not e.vp_done
+      && (e.state = Issued || e.state = Completed)
+      && not speculative
     then begin
-      let parked =
-        if e.park_seq >= 0 then begin
-          let pos = pos_of_seq t e.park_seq in
-          if
-            pos >= 0
-            && Pack.state (entry_at t pos).flags <> Pack.state_completed
-          then begin
-            (* Producer still executing: re-stamp so the pass-elision gate
-               sees this entry as settled for the current epoch. *)
-            park t e;
-            true
-          end
-          else begin
-            e.park_seq <- -1;
-            false
-          end
-        end
-        else e.park_stamp = t.wake_epoch
-      in
-      if not parked then begin
+      e.vp_done <- true;
+      match t.guard.Guard.notify_vp with
+      | Some f when e.addr_known ->
+        f ~insn_va:e.va ~addr:e.eff_addr ~asid:t.asid ~kernel_mode:e.kernel
+      | Some _ | None -> ()
+    end;
+    if e.state = Waiting && !budget > 0 && not !older_fence_incomplete then begin
       match e.insn with
       | Insn.Nop | Insn.Jump _ | Insn.Call _ | Insn.Syscall | Insn.Sysret
       | Insn.Halt ->
         decr budget;
-        e.flags <- Pack.with_state e.flags Pack.state_issued;
+        e.state <- Issued;
         e.done_at <- t.now + 1
       | Insn.Fence ->
-        (* The serialization condition can only flip on a completion, so a
-           gated fence parks under the same epoch discipline as operand
-           waits. *)
-        if older_all_completed t pos then begin
+        if !all_older_completed then begin
           decr budget;
-          e.flags <- Pack.with_state e.flags Pack.state_issued;
+          e.state <- Issued;
           e.done_at <- t.now + 1
         end
-        else park t e
       | Insn.Limm (_, v) ->
         decr budget;
         e.value <- v;
-        e.flags <- Pack.with_state e.flags Pack.state_issued;
+        e.state <- Issued;
         e.done_at <- t.now + 1
       | Insn.Alu (op, _, _, _) ->
         if operands_ready t e then begin
           decr budget;
-          e.value <- Insn.eval_binop op e.src_val0 e.src_val1;
-          e.flags <- Pack.with_state e.flags Pack.state_issued;
+          e.value <- Insn.eval_binop op e.src_val.(0) e.src_val.(1);
+          e.state <- Issued;
           e.done_at <- t.now + 1
         end
-        else park_dep t e
       | Insn.Alui (op, _, _, v) ->
         if operands_ready t e then begin
           decr budget;
-          e.value <- Insn.eval_binop op e.src_val0 v;
-          e.flags <- Pack.with_state e.flags Pack.state_issued;
+          e.value <- Insn.eval_binop op e.src_val.(0) v;
+          e.state <- Issued;
           e.done_at <- t.now + 1
         end
-        else park_dep t e
       | Insn.Branch (c, _, _, tgt) ->
         if operands_ready t e then begin
           decr budget;
-          let taken = Insn.eval_cond c e.src_val0 e.src_val1 in
-          e.flags <- Pack.with_actual_taken e.flags taken;
-          let next_idx = if taken then tgt else e.e_idx + 1 in
+          e.actual_taken <- Insn.eval_cond c e.src_val.(0) e.src_val.(1);
+          let next_idx = if e.actual_taken then tgt else e.e_idx + 1 in
           e.actual_target_va <- insn_va_of t e.e_fid next_idx;
-          e.flags <- Pack.with_state e.flags Pack.state_issued;
+          e.state <- Issued;
           e.done_at <- t.now + t.cfg.branch_latency
         end
-        else park_dep t e
       | Insn.Icall _ ->
         if operands_ready t e then begin
           decr budget;
-          let target = e.src_val0 in
+          let target = e.src_val.(0) in
           (match Layout.decode_code_va target with
           | Some (space, f, _)
             when f < Program.length t.prog && func_space t f = space ->
             e.actual_target_va <- target
           | Some _ | None ->
             e.fault <- Some (Printf.sprintf "icall to invalid VA %#x" target));
-          e.flags <- Pack.with_state e.flags Pack.state_issued;
+          e.state <- Issued;
           e.done_at <- t.now + t.cfg.branch_latency
         end
-        else park_dep t e
       | Insn.Ret ->
         decr budget;
         (if e.ret_target < 0 then e.fault <- Some "ret with empty stack"
@@ -1258,53 +875,40 @@ let issue_step t =
         (* Returning reads the architectural stack: a flushed stack line
            delays resolution, widening the transient window (Spectre-RSB). *)
         let key = ret_stack_va ~asid:t.asid ~depth:e.ret_depth in
-        let lat = Memsys.data_read_lat t.memsys key in
-        e.flags <- Pack.with_state e.flags Pack.state_issued;
+        let lat, _ = Memsys.data_read t.memsys key in
+        e.state <- Issued;
         e.done_at <- t.now + lat
       | Insn.Flush (_, off) ->
         if operands_ready t e then begin
           decr budget;
-          e.eff_addr <- e.src_val0 + off;
-          e.flags <-
-            Pack.with_state (Pack.with_addr_known e.flags true) Pack.state_issued;
+          e.eff_addr <- e.src_val.(0) + off;
+          e.addr_known <- true;
+          e.state <- Issued;
           e.done_at <- t.now + 1
         end
-        else park_dep t e
       | Insn.Store (_, _, off) ->
         if operands_ready t e then begin
           decr budget;
-          e.eff_addr <- e.src_val0 + off;
-          e.store_val <- e.src_val1;
-          e.flags <-
-            Pack.with_state (Pack.with_addr_known e.flags true) Pack.state_issued;
-          e.done_at <- t.now + 1;
-          (* The store's address is now known: younger loads parked behind
-             [older_store_unknown] must re-attempt. *)
-          t.wake_epoch <- t.wake_epoch + 1;
-          t.parked_current <- 0
+          e.eff_addr <- e.src_val.(0) + off;
+          e.store_val <- e.src_val.(1);
+          e.addr_known <- true;
+          e.state <- Issued;
+          e.done_at <- t.now + 1
         end
-        else park_dep t e
       | Insn.Load (_, _, off) ->
-        if operands_ready t e then begin
-          if not !older_store_unknown then begin
-          e.eff_addr <- e.src_val0 + off;
-          e.flags <- Pack.with_addr_known e.flags true;
+        if operands_ready t e && not !older_store_unknown then begin
+          e.eff_addr <- e.src_val.(0) + off;
+          e.addr_known <- true;
           let word = e.eff_addr lsr 3 in
-          let j = fwd_find t word in
-          if j >= 0 then begin
+          match List.assoc_opt word !store_fwd with
+          | Some v ->
             (* Store-to-load forwarding: no cache access. *)
             decr budget;
-            e.value <- Array.unsafe_get t.fwd_val j;
-            t.vp_pending <- t.vp_pending + 1;
-            if Pack.blocked_src e.flags <> Pack.blocked_none then
-              t.blocked_waiting <- t.blocked_waiting - 1;
-            e.flags <-
-              Pack.with_spec_at_issue
-                (Pack.with_state e.flags Pack.state_issued)
-                speculative;
-            e.done_at <- t.now + 1
-          end
-          else begin
+            e.value <- v;
+            e.state <- Issued;
+            e.done_at <- t.now + 1;
+            e.spec_at_issue <- speculative
+          | None ->
             let query =
               {
                 Guard.insn_va = e.va;
@@ -1319,33 +923,20 @@ let issue_step t =
                 tainted = root_active t e.taint_root;
               }
             in
-            match t.guard.Guard.check query with
+            (match t.guard.Guard.check query with
             | Guard.Allow ->
               decr budget;
               issue_load_to_memory t e ~speculative
             | Guard.Block src ->
-              if Pack.blocked_src e.flags = Pack.blocked_none then begin
-                e.flags <-
-                  Pack.with_blocked_src e.flags (blocked_code_of_source src);
-                t.blocked_waiting <- t.blocked_waiting + 1;
+              if e.blocked_src = None then begin
+                e.blocked_src <- Some src;
                 count_fence t src;
                 record_event t (Ev_fence src) ~va:e.va ~seq:e.seq
-              end
-          end
-          end
-          (* Operands ready but fenced behind a store with unknown address:
-             that status can only change when a store issues or retires or
-             an entry completes — all of which bump the wake epoch. *)
-          else park t e
+              end)
         end
-        else park_dep t e
-      end
     end
     else if
-      Pack.state e.flags = Pack.state_waiting
-      && !budget > 0
-      && Pack.blocked_src e.flags <> Pack.blocked_none
-      && not speculative
+      e.state = Waiting && !budget > 0 && e.blocked_src <> None && not speculative
     then begin
       (* A fenced load at its visibility point issues non-speculatively. *)
       decr budget;
@@ -1353,36 +944,15 @@ let issue_step t =
       issue_load_to_memory t e ~speculative:false
     end;
     (* Update running flags with this entry included. *)
-    let fl = e.flags in
-    if Pack.is_ctrl fl && not (Pack.resolved fl) then older_unresolved_ctrl := true;
-    (if Pack.is_fence fl then begin
-       if Pack.state fl <> Pack.state_completed then older_fence_incomplete := true
-     end
-     else if Pack.is_store fl then
-       if Pack.addr_known fl then fwd_push t (e.eff_addr lsr 3) e.store_val
-       else older_store_unknown := true);
-    if act_keep fl then begin
-      Array.unsafe_set t.act !out seq;
-      incr out
-    end
-    end;
-    incr k
-  done;
-  (* On an early exit the unprocessed tail is kept verbatim. *)
-  while !k < t.act_len do
-    Array.unsafe_set t.act !out (Array.unsafe_get t.act !k);
-    incr out;
-    incr k
-  done;
-  t.act_len <- !out;
-  (* Every spent unit of issue budget moved exactly one entry out of
-     Waiting, so the count is settled once per pass. *)
-  t.waiting_count <- t.waiting_count - (t.cfg.issue_width - !budget);
-  (* Anything issued this pass finishes no earlier than the next cycle; the
-     next completion scan recomputes the exact bound. *)
-  if !budget < t.cfg.issue_width && t.now + 1 < t.next_done_at then
-    t.next_done_at <- t.now + 1
-  end
+    if e.is_ctrl && not e.resolved then older_unresolved_ctrl := true;
+    (match e.insn with
+    | Insn.Fence when e.state <> Completed -> older_fence_incomplete := true
+    | Insn.Store _ ->
+      if e.addr_known then store_fwd := (e.eff_addr lsr 3, e.store_val) :: !store_fwd
+      else older_store_unknown := true
+    | _ -> ());
+    if e.state <> Completed then all_older_completed := false
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Fetch / dispatch                                                     *)
@@ -1402,12 +972,10 @@ let fetch_step t =
       | None ->
         (* Fell off the end of a function body: architectural fault if it
            commits; on a wrong path the squash will discard it. *)
-        let e = make_entry t fid idx ~va:(insn_va_of t fid idx) Insn.Halt in
+        let e = make_entry t fid idx Insn.Halt in
         e.fault <- Some (Printf.sprintf "fell off function f%d at %d" fid idx);
-        e.flags <- Pack.with_state e.flags Pack.state_issued;
-        t.waiting_count <- t.waiting_count - 1;
+        e.state <- Issued;
         e.done_at <- t.now + 1;
-        if t.now + 1 < t.next_done_at then t.next_done_at <- t.now + 1;
         t.fetch <- Stopped;
         continue_fetch := false
       | Some insn ->
@@ -1427,11 +995,11 @@ let fetch_step t =
           if lq_full || sq_full then continue_fetch := false
           else begin
             decr budget;
-            let e = make_entry t fid idx ~va insn in
+            let e = make_entry t fid idx insn in
             match insn with
             | Insn.Branch (_, _, _, tgt) ->
               let pred, meta = Tage.predict t.tage ~pc:va ~hist:t.ghr in
-              e.flags <- Pack.with_pred_taken e.flags pred;
+              e.pred_taken <- pred;
               e.tage_meta <- Some meta;
               e.ghr_snap <- t.ghr;
               e.stack_snap <- t.dispatch_stack;
@@ -1502,12 +1070,10 @@ let fetch_step t =
 (* ------------------------------------------------------------------ *)
 
 let reset_run_state t ~asid ~start regs =
-  (* Pool entries need no clearing: [make_entry] reinitializes every field
-     and nothing reads outside the head/count window. *)
+  Array.fill t.rob 0 (cap t) None;
   Array.fill t.retired_seq 0 (cap t) (-1);
   Array.blit regs 0 t.arf 0 Insn.num_regs;
   Array.fill t.rat 0 Insn.num_regs (-1);
-  t.fwd_len <- 0;
   t.head <- 0;
   t.count <- 0;
   t.next_seq <- 0;
@@ -1521,12 +1087,6 @@ let reset_run_state t ~asid ~start regs =
   t.commit_depth <- 0;
   t.lq_used <- 0;
   t.sq_used <- 0;
-  t.next_done_at <- max_int;
-  t.act_len <- 0;
-  t.waiting_count <- 0;
-  t.parked_current <- 0;
-  t.vp_pending <- 0;
-  t.blocked_waiting <- 0;
   t.asid <- asid;
   t.kernel_mode <- is_kernel_fid t start;
   t.run_outcome <- None
@@ -1543,25 +1103,25 @@ let classify_stall t =
   if t.count = 0 then c.stall_fetch <- c.stall_fetch + 1
   else begin
     let e = entry_at t 0 in
-    let fl = e.flags in
-    let b = Pack.blocked_src fl in
-    if b <> Pack.blocked_none && Pack.state fl <> Pack.state_completed then begin
+    match e.blocked_src with
+    | Some src when e.state <> Completed -> (
       (* Still blocked at the guard (Waiting), or released at the
          visibility point and now waiting out memory latency the fence
          exposed by delaying the issue (Issued): either way the fence is
          what keeps the head from committing, so it gets the cycle. *)
-      if b = Pack.blocked_isv then c.stall_fence_isv <- c.stall_fence_isv + 1
-      else if b = Pack.blocked_dsv then c.stall_fence_dsv <- c.stall_fence_dsv + 1
-      else c.stall_fence_baseline <- c.stall_fence_baseline + 1
-    end
-    else if Pack.state fl = Pack.state_issued then (
-      match e.insn with
-      | Insn.Load _ | Insn.Ret -> c.stall_dram <- c.stall_dram + 1
-      | _ -> c.stall_exec <- c.stall_exec + 1)
-    else if t.count = cap t then c.stall_rob_full <- c.stall_rob_full + 1
-    else if t.lq_used >= t.cfg.lq_entries || t.sq_used >= t.cfg.sq_entries then
-      c.stall_lsq <- c.stall_lsq + 1
-    else c.stall_exec <- c.stall_exec + 1
+      match src with
+      | Guard.Isv -> c.stall_fence_isv <- c.stall_fence_isv + 1
+      | Guard.Dsv -> c.stall_fence_dsv <- c.stall_fence_dsv + 1
+      | Guard.Baseline -> c.stall_fence_baseline <- c.stall_fence_baseline + 1)
+    | _ ->
+      if e.state = Issued then (
+        match e.insn with
+        | Insn.Load _ | Insn.Ret -> c.stall_dram <- c.stall_dram + 1
+        | _ -> c.stall_exec <- c.stall_exec + 1)
+      else if t.count = cap t then c.stall_rob_full <- c.stall_rob_full + 1
+      else if t.lq_used >= t.cfg.lq_entries || t.sq_used >= t.cfg.sq_entries then
+        c.stall_lsq <- c.stall_lsq + 1
+      else c.stall_exec <- c.stall_exec + 1
   end
 
 let run ?fuel ?regs ?(hooks = null_hooks) t ~asid ~start =

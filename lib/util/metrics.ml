@@ -50,17 +50,25 @@ let set_float t name v =
   | None -> Hashtbl.replace t.tbl name (I_float (ref v))
 
 (* Bucket 0: v <= 0.  Bucket i >= 1: 2^(i-1) <= v <= 2^i - 1, i.e. i is the
-   bit-length of v; the last bucket absorbs the overflow. *)
+   bit-length of v; the last bucket absorbs the overflow.  Computed in O(1)
+   via a byte-wide bit-length table: values of 25+ bits all land in the
+   overflow bucket (nbuckets = 32), so three shifts cover the whole range. *)
+let msb8 =
+  Array.init 256 (fun i ->
+      let bits = ref 0 and x = ref i in
+      while !x > 0 do
+        bits := !bits + 1;
+        x := !x lsr 1
+      done;
+      !bits)
+
 let bucket_of v =
   if v <= 0 then 0
-  else begin
-    let bits = ref 0 and x = ref v in
-    while !x > 0 do
-      bits := !bits + 1;
-      x := !x lsr 1
-    done;
-    min !bits (nbuckets - 1)
-  end
+  else if v lsr 8 = 0 then Array.unsafe_get msb8 v
+  else if v lsr 16 = 0 then 8 + Array.unsafe_get msb8 (v lsr 8)
+  else if v lsr 24 = 0 then 16 + Array.unsafe_get msb8 (v lsr 16)
+  else if v lsr 31 = 0 then 24 + Array.unsafe_get msb8 (v lsr 24)
+  else nbuckets - 1
 
 let bucket_lo i =
   if i <= 0 then min_int
@@ -75,11 +83,17 @@ let hist_state t name =
       Hashtbl.replace t.tbl name (I_hist h);
       h
 
-let observe t name v =
-  let h = hist_state t name in
-  h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+type hist = hist_state
+
+let hist = hist_state
+
+let hist_observe h v =
+  let b = bucket_of v in
+  Array.unsafe_set h.counts b (Array.unsafe_get h.counts b + 1);
   h.total <- h.total + 1;
   h.sum <- h.sum + v
+
+let observe t name v = hist_observe (hist_state t name) v
 
 let declare_hist t name = ignore (hist_state t name)
 

@@ -6,4 +6,5 @@ let () =
    @ Test_oracle.suite @ Test_kernel.suite @ Test_core.suite @ Test_isvgen.suite
    @ Test_scanner.suite @ Test_attacks.suite @ Test_sim.suite
    @ Test_experiments.suite @ Test_pool.suite @ Test_supervise.suite
-   @ Test_service.suite @ Test_rescache.suite)
+   @ Test_service.suite @ Test_rescache.suite @ Test_equiv.suite
+   @ Test_pack.suite)

@@ -492,6 +492,53 @@ let test_metrics_json_deterministic () =
   Alcotest.(check bool) "int rendered" true (contains j "\"b.n\": 3");
   Alcotest.(check bool) "hist rendered" true (contains j "\"c.h\": {\"buckets\":[")
 
+(* The table-driven bucket_of must agree everywhere with the bit-length
+   definition it replaced. *)
+let metrics_bucket_of_prop =
+  QCheck.Test.make ~name:"bucket_of matches the bit-length reference" ~count:2000
+    QCheck.int (fun v ->
+      let reference v =
+        if v <= 0 then 0
+        else begin
+          let bits = ref 0 and x = ref v in
+          while !x > 0 do
+            incr bits;
+            x := !x lsr 1
+          done;
+          min !bits (Metrics.nbuckets - 1)
+        end
+      in
+      Metrics.bucket_of v = reference v)
+
+let test_metrics_handle_equiv () =
+  let obs = [ -3; 0; 1; 7; 8; 255; 256; 65535; 65536; 1 lsl 40; max_int ] in
+  let by_name = Metrics.create () and by_handle = Metrics.create () in
+  List.iter (Metrics.observe by_name "h") obs;
+  let h = Metrics.hist by_handle "h" in
+  List.iter (Metrics.hist_observe h) obs;
+  check Alcotest.string "handle and name observes render identically"
+    (Metrics.snapshot_to_json (Metrics.snapshot by_name))
+    (Metrics.snapshot_to_json (Metrics.snapshot by_handle))
+
+(* Pin the exported bytes for a fixed observation set, so neither the O(1)
+   bucket computation nor the handle API can drift the snapshot format. *)
+let test_metrics_snapshot_json_pinned () =
+  let r = Metrics.create () in
+  Metrics.set_float r "f" 2.5;
+  Metrics.set_int r "n" 5;
+  let h = Metrics.hist r "h" in
+  List.iter (Metrics.hist_observe h) [ 0; 1; 2; 3; 1000 ];
+  let expected =
+    "{\n\
+    \  \"f\": 2.5,\n\
+    \  \"h\": {\"buckets\":[1,1,2,0,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"total\":5,\"sum\":1006},\n\
+    \  \"n\": 5\n\
+     }"
+  in
+  check Alcotest.string "pinned snapshot JSON"
+    expected
+    (Metrics.snapshot_to_json ~indent:2 (Metrics.snapshot r))
+
 let suite =
   [
     ( "util.rng",
@@ -562,5 +609,8 @@ let suite =
         Alcotest.test_case "hist bucket edges" `Quick test_metrics_hist_bucket_edges;
         Alcotest.test_case "hist counts" `Quick test_metrics_hist_counts;
         Alcotest.test_case "json determinism" `Quick test_metrics_json_deterministic;
+        Alcotest.test_case "handle = named observe" `Quick test_metrics_handle_equiv;
+        Alcotest.test_case "snapshot JSON pinned" `Quick test_metrics_snapshot_json_pinned;
+        QCheck_alcotest.to_alcotest metrics_bucket_of_prop;
       ] );
   ]
