@@ -70,6 +70,7 @@ type sup = {
   cache_dir : string option;
   no_cache : bool;
   cache_stats : bool;
+  workers : int;
 }
 
 let fault_conv =
@@ -89,6 +90,11 @@ let fault_conv =
                 | "slow" -> (F.Slow, F.always)
                 | "poison" -> (F.Poison, F.always)
                 | "livelock" -> (F.Livelock, F.always)
+                (* kill is flaky by construction: the lost attempt re-queues
+                   on a respawned worker, where the next attempt number no
+                   longer matches — a persistent kill would only burn the
+                   respawn budget. *)
+                | "kill" -> (F.Kill, 1)
                 | _ -> failwith kind
               in
               { F.index; kind; first_attempts }
@@ -101,7 +107,7 @@ let fault_conv =
         (`Msg
            (Printf.sprintf
               "bad fault spec %S (expected KIND@INDEX[,KIND@INDEX...] with KIND one of \
-               crash, flaky, slow, poison, livelock)"
+               crash, flaky, slow, poison, livelock, kill)"
               s))
   in
   Arg.conv
@@ -124,8 +130,11 @@ let fault_arg =
           "Deterministic fault injection, e.g. $(b,crash@2,livelock@1): job index 2 \
            crashes on every attempt, job 1 livelocks (its run hits the cycle watchdog).  \
            $(b,flaky@N) crashes once and succeeds on retry; $(b,slow@N) and \
-           $(b,poison@N) are also available.  Indices are positions in the sweep's \
-           cell list, so a spec is reproducible for any -j.")
+           $(b,poison@N) are also available.  With $(b,--workers), $(b,kill@N) \
+           SIGKILLs the worker process mid-cell (after it writes a deliberately \
+           torn journal record); the coordinator respawns it and retries.  \
+           Indices are positions in the sweep's cell list, so a spec is \
+           reproducible for any -j and any --workers.")
 
 let max_cycles_arg =
   Arg.(
@@ -183,13 +192,39 @@ let cache_stats_arg =
            (hits/misses/writes/evictions/corrupt_dropped) to stderr.  Requires \
            $(b,--cache).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Run sweep cells on $(docv) worker $(i,processes) (the CLI re-executes \
+           itself in a hidden worker mode) instead of in-process domains.  The \
+           coordinator survives worker death — including injected \
+           $(b,--fault kill@I) — by respawning workers (bounded) and recovering \
+           completed cells from each worker's crash-safe journal; tables and \
+           $(b,--metrics) output are byte-identical to $(b,--workers 1).  \
+           Composes with $(b,--cache): racing workers claim cells through the \
+           shared result cache (lease, compute, atomic commit) instead of \
+           double-computing.")
+
 let sup_term =
-  let mk retries fault max_cycles checkpoint resume cache_dir no_cache cache_stats =
-    { retries; fault; max_cycles; checkpoint; resume; cache_dir; no_cache; cache_stats }
+  let mk retries fault max_cycles checkpoint resume cache_dir no_cache cache_stats workers
+      =
+    {
+      retries;
+      fault;
+      max_cycles;
+      checkpoint;
+      resume;
+      cache_dir;
+      no_cache;
+      cache_stats;
+      workers;
+    }
   in
   Cmdliner.Term.(
     const mk $ retries_arg $ fault_arg $ max_cycles_arg $ checkpoint_arg $ resume_arg
-    $ cache_arg $ no_cache_arg $ cache_stats_arg)
+    $ cache_arg $ no_cache_arg $ cache_stats_arg $ workers_arg)
 
 (* Validate the supervision flags, build the config, run [f] with it, and
    print the cache counters afterwards if asked.  Validation failures are
@@ -202,12 +237,21 @@ let with_sup_config sup ~jobs f =
     usage "--resume requires --checkpoint FILE"
   else if sup.cache_stats && (sup.cache_dir = None || sup.no_cache) then
     usage "--cache-stats requires --cache DIR (and not --no-cache)"
+  else if sup.workers < 1 then usage "--workers must be >= 1"
   else
     let resume_ok =
       match sup.checkpoint with
       | Some file when sup.resume -> (
         match Pv_util.Journal.resume_status file with
-        | Pv_util.Journal.Usable _ -> Ok ()
+        | Pv_util.Journal.Usable { records; distinct } ->
+          (* distinct is what the sweep will actually skip: duplicate keys
+             arise when a cell re-ran after an earlier resume. *)
+          Printf.eprintf "resuming from %S: %d record%s, %d distinct cell%s\n%!" file
+            records
+            (if records = 1 then "" else "s")
+            distinct
+            (if distinct = 1 then "" else "s");
+          Ok ()
         | Pv_util.Journal.Missing ->
           Error (Printf.sprintf "cannot resume: checkpoint %S does not exist" file)
         | Pv_util.Journal.Unusable why ->
@@ -217,9 +261,14 @@ let with_sup_config sup ~jobs f =
     match resume_ok with
     | Error msg -> usage "%s" msg
     | Ok () ->
-      (* A fresh checkpointed run must not inherit a previous run's cells. *)
+      (* A fresh checkpointed run must not inherit a previous run's cells.
+         Never in a worker: the "stale" file is the coordinator's live
+         journal, and workers keep their own (PV_WORKER_JOURNAL). *)
       (match sup.checkpoint with
-      | Some f when (not sup.resume) && Sys.file_exists f -> Sys.remove f
+      | Some f
+        when (not sup.resume) && (not (Pv_util.Procpool.in_worker ()))
+             && Sys.file_exists f ->
+        Sys.remove f
       | _ -> ());
       let cache =
         match sup.cache_dir with
@@ -236,6 +285,7 @@ let with_sup_config sup ~jobs f =
           checkpoint = sup.checkpoint;
           resume = sup.resume;
           cache;
+          workers = sup.workers;
         }
       in
       let code = f config in
@@ -266,6 +316,8 @@ let trace_dir_arg =
            $(docv).")
 
 let write_traces ~dir (sweep : _ E.Supervise.sweep) =
+  if Pv_util.Procpool.in_worker () then ()
+  else begin
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   List.iter
     (fun (key, run) ->
@@ -286,6 +338,7 @@ let write_traces ~dir (sweep : _ E.Supervise.sweep) =
                 output_char oc '\n')
               r.E.Perf.events))
     sweep.E.Supervise.results
+  end
 
 (* --- attack --- *)
 
@@ -676,10 +729,28 @@ let () =
         hw_cmd; params_cmd; cves_cmd;
       ]
   in
+  (* Multi-process mode: a worker is this same binary re-executed with a
+     hidden __worker argv marker; it parses the identical command line (so
+     it rebuilds the identical sweep) but Supervise hands its cells out of
+     the coordinator's pipe instead of running the whole sweep.  The
+     original argv is recorded either way — it is what the coordinator
+     re-executes under --workers N. *)
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let args =
+    match args with
+    | marker :: rest when marker = Pv_util.Procpool.worker_arg ->
+      ignore (Pv_util.Procpool.worker_init ());
+      rest
+    | _ -> args
+  in
+  Pv_util.Procpool.set_reexec_argv args;
+  let argv =
+    Array.of_list ((if Array.length Sys.argv > 0 then Sys.argv.(0) else "perspective") :: args)
+  in
   (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),
      2 usage error, 125 unexpected exception. *)
   exit
-    (match Cmd.eval_value group with
+    (match Cmd.eval_value ~argv group with
     | Ok (`Ok code) -> code
     | Ok (`Version | `Help) -> 0
     | Error (`Parse | `Term) -> 2

@@ -58,11 +58,20 @@ type config = {
   cache : Pv_util.Rescache.t option;
       (** persistent result cache; cells with a descriptor consult it before
           running and store their results after *)
+  workers : int;
+      (** [> 1]: execute runnable cells on a {!Pv_util.Procpool} of worker
+          {e processes} (spawned by re-exec; requires
+          [Procpool.set_reexec_argv], else falls back to the in-process
+          pool with a warning).  Workers survive SIGKILL injection
+          ([--fault kill@i]): each keeps a crash-safe journal that the
+          coordinator folds into the checkpoint, and results are
+          byte-identical to [workers = 1] up to wall-clock fields. *)
+  respawns : int;  (** total dead-worker replacements allowed per sweep *)
 }
 
 val default : config
 (** [jobs = 1], [retries = 0], no fault, no cycle override, no checkpoint,
-    no cache. *)
+    no cache, [workers = 1], [respawns = 8]. *)
 
 val run : ?config:config -> 'a cell list -> 'a sweep
 (** Execute the sweep under supervision.  Cell keys must be unique.  With a

@@ -3,10 +3,11 @@
    depend on execution order, domain ids or time, so an injected fault
    pattern is reproducible for every worker count. *)
 
-type kind = Crash | Slow | Poison | Livelock
+type kind = Crash | Slow | Poison | Livelock | Kill
 
 exception Crashed of { index : int; attempt : int }
 exception Poisoned of { index : int; attempt : int }
+exception Killed of { index : int; attempt : int }
 
 let () =
   Printexc.register_printer (function
@@ -14,6 +15,8 @@ let () =
       Some (Printf.sprintf "injected crash (job %d, attempt %d)" index attempt)
     | Poisoned { index; attempt } ->
       Some (Printf.sprintf "injected poisoned result (job %d, attempt %d)" index attempt)
+    | Killed { index; attempt } ->
+      Some (Printf.sprintf "injected worker kill (job %d, attempt %d)" index attempt)
     | _ -> None)
 
 type spec = { index : int; kind : kind; first_attempts : int }

@@ -22,15 +22,27 @@
     - {b Livelock} — the job's simulation never terminates on its own.  The
       pool cannot fake this one; the supervisor implements it by starving the
       job's cycle fuel so the {!Pv_uarch.Pipeline} watchdog fires and the run
-      ends in a structured timeout. *)
+      ends in a structured timeout.
+    - {b Kill} — process-level death.  Under the multi-process runner
+      ([--workers N]) the worker assigned the job writes a deliberately torn
+      journal record and SIGKILLs itself mid-cell, exercising the
+      coordinator's respawn and the journal's torn-write recovery; the
+      coordinator reports the lost attempt as {!Killed} (transient, so the
+      respawned worker retries).  Under the in-process pool, [Kill] degrades
+      to the same behaviour as [Crash] but raising {!Killed} — an OCaml
+      domain cannot be SIGKILLed individually. *)
 
-type kind = Crash | Slow | Poison | Livelock
+type kind = Crash | Slow | Poison | Livelock | Kill
 
 exception Crashed of { index : int; attempt : int }
 (** Raised (by the pool) in place of running a [Crash]-faulted job. *)
 
 exception Poisoned of { index : int; attempt : int }
 (** Raised (by the pool) after running a [Poison]-faulted job. *)
+
+exception Killed of { index : int; attempt : int }
+(** Raised (by the pool or coordinator) for a [Kill]-faulted job's lost
+    attempt. *)
 
 type t
 (** An immutable fault plan.  Consulted, never mutated: sharing one plan

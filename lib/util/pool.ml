@@ -129,7 +129,9 @@ type error = {
 
 type 'b outcome = { result : ('b, error) result; attempts : int; elapsed : float }
 
-let default_classify = function Fault.Crashed _ -> Transient | _ -> Permanent
+let default_classify = function
+  | Fault.Crashed _ | Fault.Killed _ -> Transient
+  | _ -> Permanent
 
 (* Deterministic backoff: a bounded busy-wait (doubling per attempt) rather
    than a sleep, so retry timing can neither deadlock a shutdown nor leak
@@ -149,6 +151,11 @@ let map_results ?(retries = 0) ?(classify = default_classify) ?(fault = Fault.no
         match Fault.decide fault ~index ~attempt with
         | Some Fault.Crash ->
           Error (Fault.Crashed { index; attempt }, Printexc.get_callstack 8)
+        | Some Fault.Kill ->
+          (* A domain cannot be SIGKILLed on its own; in-process, Kill is a
+             crash-shaped transient loss.  The real process death happens in
+             the multi-process worker (Procpool). *)
+          Error (Fault.Killed { index; attempt }, Printexc.get_callstack 8)
         | Some Fault.Poison ->
           (* The job "completes" — burning the same work — but its result is
              rejected as corrupt. *)

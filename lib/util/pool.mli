@@ -69,7 +69,8 @@ type 'b outcome = {
 }
 
 val default_classify : exn -> classification
-(** {!Fault.Crashed} is [Transient]; everything else [Permanent]. *)
+(** {!Fault.Crashed} and {!Fault.Killed} are [Transient]; everything else
+    [Permanent]. *)
 
 val map_results :
   ?retries:int ->

@@ -1,0 +1,489 @@
+(* Coordinator/worker process pool.  See procpool.mli for the execution
+   model; this file is deliberately mechanical — what a cell *is* and how a
+   verdict is produced live in the experiment layer (Supervise), which hands
+   [serve] a [handle] callback and interprets [run_jobs]' outcomes.
+
+   Wire protocol (newline-framed ASCII over two pipes per worker):
+
+     coordinator -> worker   RUN <index> <attempt> <hex key>
+                             FIN
+     worker -> coordinator   RDY
+                             OK <index>
+                             ERR <index> <T|P> <hex reason>
+
+   Keys and failure reasons travel hex-encoded so they can never smuggle a
+   newline or space into the framing.  Results never travel over the pipe:
+   a worker journals the value, replies [OK], and the coordinator reads the
+   value back from the worker's journal — so a kill between journal append
+   and reply loses only the reply, and the coordinator recovers the value
+   from the journal when it reaps the corpse. *)
+
+exception Worker_failure of string
+
+let () =
+  Printexc.register_printer (function
+    (* The reason is a worker-side [Printexc.to_string]; printing it
+       verbatim keeps multi-process failure reports byte-identical to
+       single-process ones. *)
+    | Worker_failure reason -> Some reason
+    | _ -> None)
+
+(* --- worker-side context ----------------------------------------------- *)
+
+type ctx = {
+  wid : int;
+  journal : string;
+  sweep : int;
+  replay : string option;
+  cmd_in : in_channel;
+  reply_out : out_channel;
+}
+
+let worker : ctx option ref = ref None
+let worker_ctx () = !worker
+let in_worker () = !worker <> None
+
+let worker_arg = "__worker"
+
+let worker_init () =
+  let getenv name =
+    match Sys.getenv_opt name with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "procpool worker: missing %s in environment\n%!" name;
+      exit 70
+  in
+  let wid =
+    match int_of_string_opt (getenv "PV_WORKER_ID") with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "procpool worker: malformed PV_WORKER_ID\n%!";
+      exit 70
+  in
+  let journal = getenv "PV_WORKER_JOURNAL" in
+  let sweep =
+    match int_of_string_opt (getenv "PV_WORKER_SWEEP") with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "procpool worker: malformed PV_WORKER_SWEEP\n%!";
+      exit 70
+  in
+  let replay =
+    match Sys.getenv_opt "PV_WORKER_REPLAY" with
+    | Some "" | None -> None
+    | Some p -> Some p
+  in
+  (* The reply channel is a private dup of stdout taken *before* stdout is
+     pointed at /dev/null: the worker re-runs the whole CLI code path, which
+     prints tables and reports as it goes, and none of that may leak into
+     the protocol stream (or the user's terminal). *)
+  let reply_fd = Unix.dup Unix.stdout in
+  Unix.set_close_on_exec reply_fd;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  if Sys.getenv_opt "PV_PROCPOOL_DEBUG" = None then Unix.dup2 devnull Unix.stderr;
+  Unix.close devnull;
+  let ctx =
+    {
+      wid;
+      journal;
+      sweep;
+      replay;
+      cmd_in = Unix.in_channel_of_descr Unix.stdin;
+      reply_out = Unix.out_channel_of_descr reply_fd;
+    }
+  in
+  worker := Some ctx;
+  ctx
+
+(* --- worker-side serving ----------------------------------------------- *)
+
+type verdict = Done | Fail of { transient : bool; reason : string }
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let serve ctx ~handle =
+  send_line ctx.reply_out "RDY";
+  let rec loop () =
+    match input_line ctx.cmd_in with
+    | exception End_of_file -> ()
+    | "FIN" -> ()
+    | line -> (
+      match String.split_on_char ' ' line with
+      | [ "RUN"; idx; att; hexkey ] -> (
+        match
+          (int_of_string_opt idx, int_of_string_opt att, Checksum.string_of_hex hexkey)
+        with
+        | Some index, Some attempt, Some key ->
+          (match handle ~index ~attempt ~key with
+          | Done -> send_line ctx.reply_out (Printf.sprintf "OK %d" index)
+          | Fail { transient; reason } ->
+            send_line ctx.reply_out
+              (Printf.sprintf "ERR %d %s %s" index
+                 (if transient then "T" else "P")
+                 (Checksum.hex_of_string reason)));
+          loop ()
+        | _ -> loop () (* malformed command: skip, stay alive *))
+      | _ -> loop ())
+  in
+  loop ()
+
+(* --- spawners ----------------------------------------------------------- *)
+
+type spawned = { pid : int; send : Unix.file_descr; recv : Unix.file_descr }
+type spawner = wid:int -> journal:string -> spawned
+
+let make_pipes () =
+  let cmd_r, cmd_w = Unix.pipe () in
+  let reply_r, reply_w = Unix.pipe () in
+  (* Parent ends must not leak into workers spawned later: a worker holding
+     a sibling's write end would keep that sibling's reply pipe open past
+     its death.  (Only protects exec-based spawning; the fork spawner's
+     coordinator relies on waitpid, not EOF, for death detection.) *)
+  Unix.set_close_on_exec cmd_w;
+  Unix.set_close_on_exec reply_r;
+  (cmd_r, cmd_w, reply_r, reply_w)
+
+let fork_spawner f : spawner =
+ fun ~wid ~journal ->
+  let cmd_r, cmd_w, reply_r, reply_w = make_pipes () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close cmd_w;
+    Unix.close reply_r;
+    let ctx =
+      {
+        wid;
+        journal;
+        sweep = 0;
+        replay = None;
+        cmd_in = Unix.in_channel_of_descr cmd_r;
+        reply_out = Unix.out_channel_of_descr reply_w;
+      }
+    in
+    (match f ctx with () -> Unix._exit 0 | exception _ -> Unix._exit 71)
+  | pid ->
+    Unix.close cmd_r;
+    Unix.close reply_w;
+    { pid; send = cmd_w; recv = reply_r }
+
+let reexec_argv : string list option ref = ref None
+let set_reexec_argv args = reexec_argv := Some args
+let reexec_available () = !reexec_argv <> None
+
+let reexec_spawner ~sweep ~replay : spawner =
+ fun ~wid ~journal ->
+  let argv =
+    match !reexec_argv with
+    | Some a -> a
+    | None -> invalid_arg "Procpool.reexec_spawner: set_reexec_argv not called"
+  in
+  let cmd_r, cmd_w, reply_r, reply_w = make_pipes () in
+  let prog = Sys.executable_name in
+  let args = Array.of_list (prog :: worker_arg :: argv) in
+  let keep =
+    Unix.environment () |> Array.to_list
+    |> List.filter (fun kv ->
+           not
+             (String.length kv >= 10 && String.sub kv 0 10 = "PV_WORKER_"))
+  in
+  let env =
+    Array.of_list
+      (keep
+      @ [
+          Printf.sprintf "PV_WORKER_ID=%d" wid;
+          Printf.sprintf "PV_WORKER_JOURNAL=%s" journal;
+          Printf.sprintf "PV_WORKER_SWEEP=%d" sweep;
+          Printf.sprintf "PV_WORKER_REPLAY=%s" (Option.value replay ~default:"");
+        ])
+  in
+  let pid = Unix.create_process_env prog args env cmd_r reply_w Unix.stderr in
+  Unix.close cmd_r;
+  Unix.close reply_w;
+  { pid; send = cmd_w; recv = reply_r }
+
+(* --- coordinator -------------------------------------------------------- *)
+
+type outcome =
+  | Completed of { attempts : int }
+  | Failed of { attempts : int; transient : bool; reason : string }
+
+type wstate = {
+  ws_wid : int;
+  ws_journal : string;
+  mutable ws_pid : int;
+  mutable ws_send : Unix.file_descr;
+  mutable ws_recv : Unix.file_descr;
+  ws_buf : Buffer.t;
+  mutable ws_ready : bool;  (* sent RDY and has no inflight cell *)
+  mutable ws_inflight : (int * int) option;  (* index, attempt *)
+  mutable ws_alive : bool;
+}
+
+let journal_has path key =
+  match Journal.load path with
+  | records -> List.exists (fun (k, _) -> k = key) records
+  | exception (Journal.Incompatible _ | Sys_error _) -> false
+
+let run_jobs ~workers ~respawns ~retries ~scratch ~spawn ~(keys : string array) =
+  if workers < 1 then invalid_arg "Procpool.run_jobs: workers must be >= 1";
+  let n = Array.length keys in
+  let outcomes : outcome option array = Array.make n None in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.add (i, 0) queue
+  done;
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let respawn_budget = ref respawns in
+  let nworkers = min workers (max 1 n) in
+  let journal_for wid = Filename.concat scratch (Printf.sprintf "worker-%d.journal" wid) in
+  let spawn_one wid =
+    let journal = journal_for wid in
+    let { pid; send; recv } = spawn ~wid ~journal in
+    {
+      ws_wid = wid;
+      ws_journal = journal;
+      ws_pid = pid;
+      ws_send = send;
+      ws_recv = recv;
+      ws_buf = Buffer.create 256;
+      ws_ready = false;
+      ws_inflight = None;
+      ws_alive = true;
+    }
+  in
+  let pool = Array.init nworkers spawn_one in
+  let unresolved () = Array.exists (fun o -> o = None) outcomes in
+  let resolve idx o = if outcomes.(idx) = None then outcomes.(idx) <- Some o in
+  let fail_or_retry idx attempt ~transient ~reason =
+    if transient && attempt < retries then Queue.add (idx, attempt + 1) queue
+    else resolve idx (Failed { attempts = attempt + 1; transient; reason })
+  in
+  let handle_reply w line =
+    match String.split_on_char ' ' line with
+    | [ "RDY" ] -> w.ws_ready <- true
+    | [ "OK"; idx ] -> (
+      match int_of_string_opt idx with
+      | Some i ->
+        (match w.ws_inflight with
+        | Some (j, attempt) when j = i ->
+          resolve i (Completed { attempts = attempt + 1 });
+          w.ws_inflight <- None;
+          w.ws_ready <- true
+        | _ -> resolve i (Completed { attempts = 1 }))
+      | None -> ())
+    | [ "ERR"; idx; cls; hexreason ] -> (
+      match (int_of_string_opt idx, Checksum.string_of_hex hexreason) with
+      | Some i, Some reason ->
+        let transient = cls = "T" in
+        let attempt =
+          match w.ws_inflight with Some (j, a) when j = i -> a | _ -> 0
+        in
+        (match w.ws_inflight with
+        | Some (j, _) when j = i ->
+          w.ws_inflight <- None;
+          w.ws_ready <- true
+        | _ -> ());
+        fail_or_retry i attempt ~transient ~reason
+      | _ -> ())
+    | _ -> ()
+  in
+  let drain_buffer w =
+    let rec next () =
+      let s = Buffer.contents w.ws_buf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some nl ->
+        let line = String.sub s 0 nl in
+        Buffer.clear w.ws_buf;
+        Buffer.add_string w.ws_buf (String.sub s (nl + 1) (String.length s - nl - 1));
+        handle_reply w line;
+        next ()
+    in
+    next ()
+  in
+  let read_some w =
+    let b = Bytes.create 4096 in
+    match Unix.read w.ws_recv b 0 4096 with
+    | 0 -> false
+    | k ->
+      Buffer.add_subbytes w.ws_buf b 0 k;
+      drain_buffer w;
+      true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      false
+    | exception Unix.Unix_error _ -> false
+  in
+  let send_to w line =
+    let data = line ^ "\n" in
+    match Unix.write_substring w.ws_send data 0 (String.length data) with
+    | _ -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  let close_fds w =
+    (try Unix.close w.ws_send with Unix.Unix_error _ -> ());
+    try Unix.close w.ws_recv with Unix.Unix_error _ -> ()
+  in
+  let reap_death w =
+    (* Drain any replies that raced the death (an OK written just before a
+       kill), then decide the fate of the inflight cell: if its record made
+       it into the worker's journal the work *happened* — a kill between
+       journal append and reply loses nothing. *)
+    (try Unix.set_nonblock w.ws_recv with Unix.Unix_error _ -> ());
+    let rec drain () = if read_some w then drain () in
+    (try drain () with _ -> ());
+    (match w.ws_inflight with
+    | Some (idx, attempt) when outcomes.(idx) = None ->
+      if journal_has w.ws_journal keys.(idx) then
+        resolve idx (Completed { attempts = attempt + 1 })
+      else
+        fail_or_retry idx attempt ~transient:true
+          ~reason:(Printexc.to_string (Fault.Killed { index = idx; attempt }))
+    | _ -> ());
+    w.ws_inflight <- None;
+    w.ws_alive <- false;
+    w.ws_ready <- false;
+    close_fds w
+  in
+  let poll_deaths () =
+    Array.iteri
+      (fun i w ->
+        if w.ws_alive then
+          match Unix.waitpid [ Unix.WNOHANG ] w.ws_pid with
+          | 0, _ -> ()
+          | _ ->
+            reap_death w;
+            (* Respawn into the same slot (and the same journal: the fresh
+               worker's open_writer quarantines and truncates any torn
+               record — the production torn-write recovery path). *)
+            if unresolved () && !respawn_budget > 0 then begin
+              decr respawn_budget;
+              let fresh = spawn_one w.ws_wid in
+              pool.(i) <- fresh
+            end
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> reap_death w
+          | exception Unix.Unix_error _ -> ())
+      pool
+  in
+  let dispatch () =
+    Array.iter
+      (fun w ->
+        if w.ws_alive && w.ws_ready && w.ws_inflight = None && not (Queue.is_empty queue)
+        then begin
+          let idx, attempt = Queue.pop queue in
+          if outcomes.(idx) <> None then ()
+          else if
+            send_to w (Printf.sprintf "RUN %d %d %s" idx attempt
+                         (Checksum.hex_of_string keys.(idx)))
+          then begin
+            w.ws_ready <- false;
+            w.ws_inflight <- Some (idx, attempt)
+          end
+          else (* dead pipe: requeue, the death poll will reap it *)
+            Queue.add (idx, attempt) queue
+        end)
+      pool
+  in
+  let select_replies () =
+    let fds =
+      Array.to_list pool
+      |> List.filter_map (fun w -> if w.ws_alive then Some w.ws_recv else None)
+    in
+    if fds <> [] then
+      match Unix.select fds [] [] 0.2 with
+      | readable, _, _ ->
+        Array.iter
+          (fun w -> if w.ws_alive && List.mem w.ws_recv readable then ignore (read_some w))
+          pool
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  (* Main loop: runs until every cell has an outcome or the pool is
+     unrecoverable (all workers dead, respawn budget spent). *)
+  (* Invariants: every unresolved cell is queued or inflight on a live
+     worker; reaping a death either requeues/resolves its inflight cell and
+     respawns (budget permitting) or leaves the slot dead — so "unresolved
+     but no live worker" is exactly the unrecoverable state. *)
+  while unresolved () && Array.exists (fun w -> w.ws_alive) pool do
+    poll_deaths ();
+    dispatch ();
+    select_replies ()
+  done;
+  (* Anything still unresolved lost its workers: fail it rather than hang. *)
+  Queue.iter
+    (fun (idx, attempt) ->
+      resolve idx
+        (Failed
+           {
+             attempts = attempt;
+             transient = true;
+             reason = "worker pool exhausted (respawn budget spent)";
+           }))
+    queue;
+  Array.iteri
+    (fun idx o ->
+      if o = None then
+        outcomes.(idx) <-
+          Some
+            (Failed
+               {
+                 attempts = 0;
+                 transient = true;
+                 reason = "worker pool exhausted (respawn budget spent)";
+               }))
+    outcomes;
+  (* Orderly shutdown: FIN, grace period, then SIGKILL stragglers. *)
+  Array.iter (fun w -> if w.ws_alive then ignore (send_to w "FIN")) pool;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_exits () =
+    let pending = Array.exists (fun w -> w.ws_alive) pool in
+    if pending then begin
+      Array.iter
+        (fun w ->
+          if w.ws_alive then
+            match Unix.waitpid [ Unix.WNOHANG ] w.ws_pid with
+            | 0, _ -> ()
+            | _ ->
+              w.ws_alive <- false;
+              close_fds w
+            | exception Unix.Unix_error _ ->
+              w.ws_alive <- false;
+              close_fds w)
+        pool;
+      if Array.exists (fun w -> w.ws_alive) pool then
+        if Unix.gettimeofday () > deadline then
+          Array.iter
+            (fun w ->
+              if w.ws_alive then begin
+                (try Unix.kill w.ws_pid Sys.sigkill with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] w.ws_pid) with Unix.Unix_error _ -> ());
+                w.ws_alive <- false;
+                close_fds w
+              end)
+            pool
+        else begin
+          Unix.sleepf 0.02;
+          wait_exits ()
+        end
+    end
+  in
+  wait_exits ();
+  (match old_sigpipe with
+  | Some b -> (try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+  | None -> ());
+  let final =
+    Array.map
+      (function
+        | Some o -> o
+        | None ->
+          Failed { attempts = 0; transient = true; reason = "unresolved cell" })
+      outcomes
+  in
+  let journals =
+    List.init nworkers journal_for |> List.filter Sys.file_exists
+  in
+  (final, journals)

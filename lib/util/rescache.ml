@@ -1,51 +1,20 @@
 (* Persistent content-addressed result cache. See rescache.mli for the
-   contract (digest keying, torn-write discipline, corrupt-entry policy). *)
+   contract (digest keying, torn-write discipline, corrupt-entry policy,
+   cross-process lease protocol). *)
 
 let format_version = 1
 
+(* NOT bumped for PR 7: the envelope format and every cached payload type
+   are unchanged; only the journal (a different file family) changed
+   format.  Bump this the moment any marshalled result type or measured
+   simulator behaviour changes. *)
 let code_salt = "pv-rescache-2026-08"
 
-(* --- FNV-1a 64-bit ----------------------------------------------------- *)
-
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-
-let fnv1a64 s =
-  let h = ref fnv_offset in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h fnv_prime)
-    s;
-  !h
-
-let digest_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)
-
-(* --- hex codec for the marshalled payload ------------------------------ *)
-
-let hex_of_string s =
-  let b = Buffer.create (2 * String.length s) in
-  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
-  Buffer.contents b
-
-let string_of_hex h =
-  let n = String.length h in
-  if n mod 2 <> 0 then None
-  else
-    let digit c =
-      match c with
-      | '0' .. '9' -> Some (Char.code c - Char.code '0')
-      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
-      | _ -> None
-    in
-    let b = Bytes.create (n / 2) in
-    let ok = ref true in
-    for i = 0 to (n / 2) - 1 do
-      match (digit h.[2 * i], digit h.[(2 * i) + 1]) with
-      | Some hi, Some lo -> Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
-      | _ -> ok := false
-    done;
-    if !ok then Some (Bytes.to_string b) else None
+(* Digesting and the hex codec are delegated to Checksum (shared with the
+   journal framing and the procpool wire encoding). *)
+let digest_hex = Checksum.digest_hex
+let hex_of_string = Checksum.hex_of_string
+let string_of_hex = Checksum.string_of_hex
 
 (* --- cache handle ------------------------------------------------------ *)
 
@@ -53,6 +22,7 @@ type stats = {
   hits : int;
   misses : int;
   writes : int;
+  write_errors : int;
   evictions : int;
   corrupt_dropped : int;
 }
@@ -65,9 +35,11 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable writes : int;
+  mutable write_errors : int;
   mutable evictions : int;
   mutable corrupt_dropped : int;
   mutable tmp_counter : int;
+  mutable warned_write_error : bool;
 }
 
 let rec mkdir_p dir =
@@ -94,9 +66,11 @@ let open_dir ?(salt = "") ?max_entries root =
     hits = 0;
     misses = 0;
     writes = 0;
+    write_errors = 0;
     evictions = 0;
     corrupt_dropped = 0;
     tmp_counter = 0;
+    warned_write_error = false;
   }
 
 let dir t = t.root
@@ -105,7 +79,9 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let entry_path t ~key = Filename.concat t.root (digest_hex (t.salt ^ "\n" ^ key) ^ ".json")
+let entry_base t ~key = digest_hex (t.salt ^ "\n" ^ key)
+let entry_path t ~key = Filename.concat t.root (entry_base t ~key ^ ".json")
+let lease_path t ~key = Filename.concat t.root (entry_base t ~key ^ ".lease")
 
 (* --- envelope ---------------------------------------------------------- *)
 
@@ -218,6 +194,9 @@ let find (type a) t ~key : a option =
               t.misses <- t.misses + 1;
               None))
 
+(* Only .json entries count toward the size bound — .lease files are
+   transient claims, not content, and must never be evicted from under a
+   live holder. *)
 let entries t =
   match Sys.readdir t.root with
   | exception Sys_error _ -> [||]
@@ -248,6 +227,16 @@ let evict_over_limit t =
           stamped
       end
 
+let note_write_error t ~what msg =
+  t.write_errors <- t.write_errors + 1;
+  if not t.warned_write_error then begin
+    t.warned_write_error <- true;
+    Printf.eprintf
+      "rescache: warning: cache write failed (%s: %s); caching is degraded, \
+       results are unaffected (counted as write_errors)\n%!"
+      what msg
+  end
+
 let store t ~key v =
   let payload = Marshal.to_string v [] in
   let body = render_envelope t ~key payload in
@@ -268,8 +257,86 @@ let store t ~key v =
       | () ->
           t.writes <- t.writes + 1;
           evict_over_limit t
-      | exception (Sys_error _ | Unix.Unix_error _) ->
-          (try Sys.remove tmp with Sys_error _ -> ()))
+      | exception Sys_error msg ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          note_write_error t ~what:"store" msg
+      | exception Unix.Unix_error (err, fn, _) ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          note_write_error t ~what:fn (Unix.error_message err))
+
+(* --- cross-process claims ---------------------------------------------- *)
+
+type lease = { l_path : string; l_key : string }
+
+let read_lease_pid path =
+  match read_file path with
+  | Some body -> int_of_string_opt (String.trim body)
+  | None -> None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception Unix.Unix_error _ -> true
+
+let rec try_claim_n t ~key attempts =
+  let path = lease_path t ~key in
+  match Unix.openfile path [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+  | fd ->
+      let pid = string_of_int (Unix.getpid ()) ^ "\n" in
+      (try ignore (Unix.write_substring fd pid 0 (String.length pid))
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      `Claimed { l_path = path; l_key = key }
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> (
+      match read_lease_pid path with
+      | Some pid when not (pid_alive pid) ->
+          (* The holder died mid-compute: break the lease and race to
+             re-claim it.  If several processes break it at once, O_EXCL
+             picks exactly one winner on the retry. *)
+          (try Sys.remove path with Sys_error _ -> ());
+          if attempts > 0 then try_claim_n t ~key (attempts - 1) else `Busy (Some pid)
+      | pid -> `Busy pid)
+  | exception Unix.Unix_error _ -> `Busy None
+
+let try_claim t ~key = try_claim_n t ~key 3
+
+let release _t lease = try Sys.remove lease.l_path with Sys_error _ -> ()
+
+let commit t lease v =
+  (* Order matters: the entry must be visible before the lease vanishes, so
+     a poller that sees the lease disappear is guaranteed a hit (or, on a
+     failed store, an honest recompute — never a torn read). *)
+  store t ~key:lease.l_key v;
+  release t lease
+
+let compute_through ?(patience = 10.0) ?(poll = 0.02) t ~key f =
+  match find t ~key with
+  | Some v -> (v, `Hit)
+  | None -> (
+      let rec attempt deadline =
+        match try_claim t ~key with
+        | `Claimed lease -> (
+            match f () with
+            | v ->
+                commit t lease v;
+                (v, `Computed)
+            | exception e ->
+                release t lease;
+                raise e)
+        | `Busy _ -> (
+            Unix.sleepf poll;
+            match find t ~key with
+            | Some v -> (v, `Raced)
+            | None ->
+                if Unix.gettimeofday () > deadline then
+                  (* The holder is alive but slow (or wedged): duplicated
+                     work beats a deadlock, and store is atomic either way. *)
+                  (f (), `Computed)
+                else attempt deadline)
+      in
+      attempt (Unix.gettimeofday () +. patience))
 
 let stats t =
   with_lock t (fun () ->
@@ -277,6 +344,7 @@ let stats t =
         hits = t.hits;
         misses = t.misses;
         writes = t.writes;
+        write_errors = t.write_errors;
         evictions = t.evictions;
         corrupt_dropped = t.corrupt_dropped;
       })
@@ -286,11 +354,12 @@ let observe_metrics m ~prefix t =
   Metrics.set_int m (prefix ^ ".hits") s.hits;
   Metrics.set_int m (prefix ^ ".misses") s.misses;
   Metrics.set_int m (prefix ^ ".writes") s.writes;
+  Metrics.set_int m (prefix ^ ".write_errors") s.write_errors;
   Metrics.set_int m (prefix ^ ".evictions") s.evictions;
   Metrics.set_int m (prefix ^ ".corrupt_dropped") s.corrupt_dropped
 
 let report ?(out = stderr) t =
   let s = stats t in
   Printf.fprintf out
-    "rescache: hits=%d misses=%d writes=%d evictions=%d corrupt_dropped=%d dir=%s\n%!"
-    s.hits s.misses s.writes s.evictions s.corrupt_dropped t.root
+    "rescache: hits=%d misses=%d writes=%d write_errors=%d evictions=%d corrupt_dropped=%d dir=%s\n%!"
+    s.hits s.misses s.writes s.write_errors s.evictions s.corrupt_dropped t.root

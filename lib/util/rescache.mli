@@ -17,6 +17,16 @@
     before unmarshalling — a truncated, bit-flipped or otherwise damaged
     entry is {e dropped and recomputed, never trusted}.
 
+    {b Cross-process claims (two-phase commit).} When several worker
+    processes share one cache root, {!try_claim} arbitrates who computes a
+    missing entry: the winner creates [<digest>.lease] with [O_CREAT|O_EXCL]
+    (phase one), computes, then {!store}s the payload via temp-file + atomic
+    rename (phase two) and releases the lease.  Losers poll {!find} until
+    the winner commits.  A lease naming a dead pid (the holder was killed
+    mid-compute) is broken and re-claimed — the entry file itself is either
+    absent or complete, never torn, so a killed winner costs only a
+    recompute.  {!compute_through} packages the whole protocol.
+
     {b Invalidation.} The effective salt is [format_version ^ code_salt ^
     user salt]: bump {!code_salt} whenever a cached result type or the
     simulator's measured behaviour changes, and every stale entry becomes
@@ -40,7 +50,8 @@ val open_dir : ?salt:string -> ?max_entries:int -> string -> t
     it must not contain ['"'], ['\\'] or newlines.  [max_entries] bounds the
     number of entries: after a store that exceeds it, the oldest entries
     (by modification time) are evicted.  Thread-safe: one [t] may be shared
-    across pool domains. *)
+    across pool domains, and one directory may be shared across worker
+    processes (every mutation is temp-file + rename or [O_EXCL] create). *)
 
 val dir : t -> string
 
@@ -56,13 +67,47 @@ val find : t -> key:string -> 'a option
 
 val store : t -> key:string -> 'a -> unit
 (** Write (or atomically replace) the entry for [key] via temp-file +
-    rename.  I/O errors are swallowed — a cache that cannot write degrades
-    to a cache that never hits. *)
+    rename.  I/O errors do not raise — a cache that cannot write degrades to
+    a cache that never hits — but each failure is counted in
+    [write_errors] and the first one warns on stderr. *)
+
+(** {1 Cross-process claims} *)
+
+type lease
+(** A held claim on one cache entry (an on-disk [<digest>.lease] file naming
+    this process's pid). *)
+
+val try_claim : t -> key:string -> [ `Claimed of lease | `Busy of int option ]
+(** Attempt to claim the right to compute [key].  [`Claimed l]: this
+    process holds the lease and must eventually {!commit} or {!release} it.
+    [`Busy pid]: another live process (of that pid, when readable) holds
+    it.  A lease whose recorded pid no longer exists is broken and
+    re-claimed atomically. *)
+
+val commit : t -> lease -> 'a -> unit
+(** {!store} the computed value, then release the lease.  The entry becomes
+    visible to other processes' {!find} before the lease disappears, so a
+    loser that sees the lease vanish will hit. *)
+
+val release : t -> lease -> unit
+(** Drop the lease without storing (the compute failed); another process may
+    then claim it. *)
+
+val compute_through :
+  ?patience:float -> ?poll:float -> t -> key:string -> (unit -> 'a) ->
+  'a * [ `Hit | `Computed | `Raced ]
+(** The full claim protocol: hit if present; otherwise claim, compute, and
+    commit ([`Computed]); if another process holds the lease, poll {!find}
+    every [poll] seconds (default 0.02) until it commits ([`Raced]).  If the
+    holder neither commits nor dies within [patience] seconds (default 10),
+    compute anyway — duplicated work beats a deadlock.  If [f] raises, the
+    lease is released and the exception re-raised. *)
 
 type stats = {
   hits : int;
   misses : int;
   writes : int;
+  write_errors : int;  (** failed {!store} attempts (I/O errors, swallowed) *)
   evictions : int;
   corrupt_dropped : int;  (** corrupt or version-mismatched entries deleted *)
 }
@@ -71,12 +116,13 @@ val stats : t -> stats
 
 val observe_metrics : Metrics.t -> prefix:string -> t -> unit
 (** Register [<prefix>.hits], [<prefix>.misses], [<prefix>.writes],
-    [<prefix>.evictions] and [<prefix>.corrupt_dropped].  Cache counters are
-    run provenance (a warm run hits where a cold run missed), so they are
-    reported on stderr via [--cache-stats] and never land in the [--metrics]
-    export, which must stay byte-identical between cold and warm runs. *)
+    [<prefix>.write_errors], [<prefix>.evictions] and
+    [<prefix>.corrupt_dropped].  Cache counters are run provenance (a warm
+    run hits where a cold run missed), so they are reported on stderr via
+    [--cache-stats] and never land in the [--metrics] export, which must
+    stay byte-identical between cold and warm runs. *)
 
 val report : ?out:out_channel -> t -> unit
-(** One-line [rescache: hits=... misses=... writes=... evictions=...
-    corrupt_dropped=... dir=...] summary (the [--cache-stats] output,
-    default [stderr]). *)
+(** One-line [rescache: hits=... misses=... writes=... write_errors=...
+    evictions=... corrupt_dropped=... dir=...] summary (the [--cache-stats]
+    output, default [stderr]). *)

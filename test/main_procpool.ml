@@ -1,0 +1,5 @@
+(* The process-pool suite runs in its own executable: its tests Unix.fork
+   worker processes, which OCaml 5 forbids once any other domain has been
+   created — and the main runner's pool suites create domains. *)
+
+let () = Alcotest.run "perspective-procpool" Test_procpool.suite

@@ -25,7 +25,13 @@ let temp_journal () =
 
 let with_journal f =
   let path = temp_journal () in
-  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+  let rm p = if Sys.file_exists p then Sys.remove p in
+  Fun.protect
+    ~finally:(fun () ->
+      rm path;
+      (* recovery quarantines torn bytes next to the journal *)
+      rm (path ^ ".quarantine"))
+    (fun () -> f path)
 
 let square_cells n =
   List.init n (fun i -> Supervise.cell (Printf.sprintf "sq/%d" i) (fun ~fuel:_ -> i * i))
@@ -144,9 +150,10 @@ let test_resume_status_usable () =
       let w = Journal.open_writer path in
       Journal.append w ~key:"a" 1;
       Journal.append w ~key:"b" 2;
+      Journal.append w ~key:"a" 3 (* re-run after an earlier resume *);
       Journal.close w;
-      Alcotest.(check bool) "counts complete records" true
-        (Journal.resume_status path = Journal.Usable 2))
+      Alcotest.(check bool) "counts records and distinct keys" true
+        (Journal.resume_status path = Journal.Usable { records = 3; distinct = 2 }))
 
 (* --- supervised sweeps ------------------------------------------------ *)
 
