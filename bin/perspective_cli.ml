@@ -71,6 +71,7 @@ type sup = {
   no_cache : bool;
   cache_stats : bool;
   workers : int;
+  hosts : string option;
 }
 
 let fault_conv =
@@ -205,11 +206,30 @@ let workers_arg =
            $(b,--metrics) output are byte-identical to $(b,--workers 1).  \
            Composes with $(b,--cache): racing workers claim cells through the \
            shared result cache (lease, compute, atomic commit) instead of \
-           double-computing.")
+           double-computing.  With $(b,--hosts), $(docv) is the count of \
+           $(i,local) workers and may be 0 (remote-only execution).")
+
+let hosts_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hosts" ] ~docv:"HOST:PORT[,HOST:PORT...]"
+        ~doc:
+          "Also dispatch sweep cells to standing remote workers started with \
+           $(b,perspective_cli __worker --listen HOST:PORT), one connection per \
+           listed address, over TCP.  Results never travel inside the control \
+           protocol: each remote worker journals results locally and the \
+           coordinator reads them from the shared filesystem (shared \
+           $(b,--cache)/scratch) or pulls the journal's checksummed bytes over \
+           the same connection after the sweep.  A dropped connection or \
+           handshake timeout is arbitrated exactly like a killed local worker \
+           (journal decides the in-flight cell), with a bounded per-host \
+           reconnect budget; lost hosts are named on stderr and the sweep \
+           completes on the remaining workers.")
 
 let sup_term =
   let mk retries fault max_cycles checkpoint resume cache_dir no_cache cache_stats workers
-      =
+      hosts =
     {
       retries;
       fault;
@@ -220,11 +240,12 @@ let sup_term =
       no_cache;
       cache_stats;
       workers;
+      hosts;
     }
   in
   Cmdliner.Term.(
     const mk $ retries_arg $ fault_arg $ max_cycles_arg $ checkpoint_arg $ resume_arg
-    $ cache_arg $ no_cache_arg $ cache_stats_arg $ workers_arg)
+    $ cache_arg $ no_cache_arg $ cache_stats_arg $ workers_arg $ hosts_arg)
 
 (* Validate the supervision flags, build the config, run [f] with it, and
    print the cache counters afterwards if asked.  Validation failures are
@@ -237,8 +258,19 @@ let with_sup_config sup ~jobs f =
     usage "--resume requires --checkpoint FILE"
   else if sup.cache_stats && (sup.cache_dir = None || sup.no_cache) then
     usage "--cache-stats requires --cache DIR (and not --no-cache)"
-  else if sup.workers < 1 then usage "--workers must be >= 1"
+  else if sup.workers < 0 then usage "--workers must be >= 0"
+  else if sup.workers = 0 && sup.hosts = None then
+    usage "--workers 0 requires --hosts (no workers to run cells on)"
   else
+    match
+      match sup.hosts with
+      | None -> Ok []
+      | Some spec -> Pv_util.Transport.parse_hostspecs spec
+    with
+    | Error msg -> usage "%s" msg
+    | Ok hosts ->
+    if hosts = [] && sup.hosts <> None then usage "--hosts lists no addresses"
+    else
     let resume_ok =
       match sup.checkpoint with
       | Some file when sup.resume -> (
@@ -286,6 +318,7 @@ let with_sup_config sup ~jobs f =
           resume = sup.resume;
           cache;
           workers = sup.workers;
+          hosts;
         }
       in
       let code = f config in
@@ -729,29 +762,40 @@ let () =
         hw_cmd; params_cmd; cves_cmd;
       ]
   in
+  (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),
+     2 usage error, 125 unexpected exception. *)
+  let eval_list args =
+    let argv =
+      Array.of_list
+        ((if Array.length Sys.argv > 0 then Sys.argv.(0) else "perspective") :: args)
+    in
+    match Cmd.eval_value ~argv group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125
+  in
   (* Multi-process mode: a worker is this same binary re-executed with a
      hidden __worker argv marker; it parses the identical command line (so
      it rebuilds the identical sweep) but Supervise hands its cells out of
      the coordinator's pipe instead of running the whole sweep.  The
      original argv is recorded either way — it is what the coordinator
-     re-executes under --workers N. *)
+     re-executes under --workers N and ships in the HELLO under --hosts.
+     `__worker --listen HOST:PORT` instead starts a standing TCP worker
+     that serves coordinators forever, evaluating each HELLO's argv. *)
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
   let args =
     match args with
-    | marker :: rest when marker = Pv_util.Procpool.worker_arg ->
-      ignore (Pv_util.Procpool.worker_init ());
-      rest
+    | marker :: rest when marker = Pv_util.Procpool.worker_arg -> (
+      match rest with
+      | l :: spec :: _ when l = Pv_util.Procpool.listen_arg ->
+        Pv_util.Procpool.standing_worker ~listen:spec ~run:(fun ~argv ->
+            Pv_util.Procpool.set_reexec_argv argv;
+            eval_list argv)
+      | _ ->
+        ignore (Pv_util.Procpool.worker_init ());
+        rest)
     | _ -> args
   in
   Pv_util.Procpool.set_reexec_argv args;
-  let argv =
-    Array.of_list ((if Array.length Sys.argv > 0 then Sys.argv.(0) else "perspective") :: args)
-  in
-  (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),
-     2 usage error, 125 unexpected exception. *)
-  exit
-    (match Cmd.eval_value ~argv group with
-    | Ok (`Ok code) -> code
-    | Ok (`Version | `Help) -> 0
-    | Error (`Parse | `Term) -> 2
-    | Error `Exn -> 125)
+  exit (eval_list args)

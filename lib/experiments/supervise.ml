@@ -38,6 +38,7 @@ type config = {
   cache : Rescache.t option;
   workers : int;
   respawns : int;
+  hosts : (string * int) list;
 }
 
 let default =
@@ -52,6 +53,7 @@ let default =
     cache = None;
     workers = 1;
     respawns = 8;
+    hosts = [];
   }
 
 (* --- multi-process plumbing -------------------------------------------- *)
@@ -212,12 +214,22 @@ let run_procpool config ~ordinal (runnable : 'a cell list) : 'a Pool.outcome lis
   let combined = combined_journal () in
   let replay = if Sys.file_exists combined then Some combined else None in
   let keys = Array.of_list (List.map (fun (c : 'a cell) -> c.key) runnable) in
-  let outs, journals =
-    Procpool.run_jobs ~workers:config.workers ~respawns:config.respawns
+  let outs, journals, dead_hosts =
+    Procpool.run_jobs ~hosts:config.hosts
+      ~connect:(Procpool.tcp_connector ~sweep:ordinal ~replay)
+      ~workers:config.workers ~respawns:config.respawns
       ~retries:config.retries ~scratch
       ~spawn:(Procpool.reexec_spawner ~sweep:ordinal ~replay)
-      ~keys
+      ~keys ()
   in
+  (* Stderr, not stdout: the result tables must stay byte-identical to a
+     serial run even when a host died mid-sweep and its cells were
+     recovered elsewhere. *)
+  List.iter
+    (fun (d : Procpool.dead_host) ->
+      Printf.eprintf "supervise: host %s:%d lost: %s\n%!" d.Procpool.dh_host
+        d.Procpool.dh_port d.Procpool.dh_reason)
+    dead_hosts;
   let values : (string, 'a) Hashtbl.t = Hashtbl.create (Array.length keys) in
   List.iter
     (fun j ->
@@ -320,14 +332,16 @@ let run_coordinator ~config ~ordinal (cells : 'a cell list) =
     | Error _ -> ()
   in
   let use_procpool =
-    config.workers > 1 && runnable <> []
+    (config.workers > 1 || config.hosts <> [])
+    && runnable <> []
     &&
     if Procpool.reexec_available () then true
     else begin
       Printf.eprintf
-        "supervise: --workers %d requested but no re-exec argv is registered \
+        "supervise: --workers %d%s requested but no re-exec argv is registered \
          (library caller?); falling back to the in-process pool\n%!"
-        config.workers;
+        config.workers
+        (if config.hosts = [] then "" else " with --hosts");
       false
     end
   in
@@ -442,7 +456,9 @@ let run_coordinator ~config ~ordinal (cells : 'a cell list) =
      provenance) in the combined journal, so workers spawned for a *later*
      sweep can replay this one — dependent sweeps capture these results in
      their cell closures. *)
-  if config.workers > 1 && Procpool.reexec_available () then begin
+  if
+    (config.workers > 1 || config.hosts <> []) && Procpool.reexec_available ()
+  then begin
     let w = Journal.open_writer (combined_journal ()) in
     Fun.protect
       ~finally:(fun () -> Journal.close w)

@@ -46,16 +46,15 @@ let max_value t =
   let a = sorted t in
   a.(t.n - 1)
 
-(* Same nearest-rank definition as Stats.percentile, but on the memoized
-   sorted array so the four tail quantiles of a cell cost one sort. *)
+(* Same nearest-rank definition as Stats.percentile (shared integer rank
+   computation), but on the memoized sorted array so the four tail
+   quantiles of a cell cost one sort. *)
 let percentile t ~p =
   if t.n = 0 then invalid_arg "Latency.percentile: no samples";
   if Float.is_nan p || p < 0.0 || p > 100.0 then
     invalid_arg "Latency.percentile: p outside [0,100]";
   let a = sorted t in
-  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.n)) in
-  let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
-  a.(rank - 1)
+  a.(Pv_util.Stats.nearest_rank ~p ~n:t.n - 1)
 
 let percentile_opt t ~p = if t.n = 0 then None else Some (percentile t ~p)
 

@@ -215,7 +215,14 @@ let evict_over_limit t =
                  match Unix.stat p with
                  | st -> Some (st.Unix.st_mtime, n)
                  | exception Unix.Unix_error _ -> None)
-          |> List.sort compare
+          (* Explicit victim order: oldest mtime first, equal mtimes broken
+             by digest filename.  Filesystems with 1-second mtime
+             granularity make same-second entries tie constantly, and the
+             set a warm run finds must not depend on readdir order —
+             eviction is part of the byte-identity contract under
+             max_entries. *)
+          |> List.sort (fun (ta, na) (tb, nb) ->
+                 match Float.compare ta tb with 0 -> String.compare na nb | c -> c)
         in
         let excess = List.length stamped - limit in
         List.iteri
@@ -268,10 +275,23 @@ let store t ~key v =
 
 type lease = { l_path : string; l_key : string }
 
-let read_lease_pid path =
+let local_host = lazy (try Unix.gethostname () with Unix.Unix_error _ -> "localhost")
+
+(* Lease body: "<pid> <hostname>\n".  The hostname matters once the cache
+   root sits on a shared filesystem under multi-host sweeps (--hosts): a
+   pid is only meaningful on the host that wrote it, so a claimant on
+   another machine must not probe it with kill(2) — pid 4242 being free
+   *here* says nothing about the holder over there.  Pre-PR-8 leases
+   ("<pid>\n", no host) are treated as local, which preserves their old
+   breaking behaviour. *)
+let read_lease path =
   match read_file path with
-  | Some body -> int_of_string_opt (String.trim body)
   | None -> None
+  | Some body -> (
+    match String.split_on_char ' ' (String.trim body) with
+    | [ pid ] -> Option.map (fun p -> (p, None)) (int_of_string_opt pid)
+    | [ pid; host ] -> Option.map (fun p -> (p, Some host)) (int_of_string_opt pid)
+    | _ -> None)
 
 let pid_alive pid =
   match Unix.kill pid 0 with
@@ -280,24 +300,35 @@ let pid_alive pid =
   | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
   | exception Unix.Unix_error _ -> true
 
+(* A lease is provably stale only when we can actually observe the holder:
+   same host (or no host recorded) and the pid is gone.  A remote holder's
+   lease is never broken here — its own machine's claimants will, or the
+   compute_through patience deadline bounds the wait. *)
+let holder_dead (pid, host) =
+  (match host with None -> true | Some h -> h = Lazy.force local_host)
+  && not (pid_alive pid)
+
 let rec try_claim_n t ~key attempts =
   let path = lease_path t ~key in
   match Unix.openfile path [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
   | fd ->
-      let pid = string_of_int (Unix.getpid ()) ^ "\n" in
-      (try ignore (Unix.write_substring fd pid 0 (String.length pid))
+      let holder =
+        Printf.sprintf "%d %s\n" (Unix.getpid ()) (Lazy.force local_host)
+      in
+      (try ignore (Unix.write_substring fd holder 0 (String.length holder))
        with Unix.Unix_error _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ());
       `Claimed { l_path = path; l_key = key }
   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> (
-      match read_lease_pid path with
-      | Some pid when not (pid_alive pid) ->
+      match read_lease path with
+      | Some holder when holder_dead holder ->
           (* The holder died mid-compute: break the lease and race to
              re-claim it.  If several processes break it at once, O_EXCL
              picks exactly one winner on the retry. *)
           (try Sys.remove path with Sys_error _ -> ());
-          if attempts > 0 then try_claim_n t ~key (attempts - 1) else `Busy (Some pid)
-      | pid -> `Busy pid)
+          if attempts > 0 then try_claim_n t ~key (attempts - 1)
+          else `Busy (Some (fst holder))
+      | holder -> `Busy (Option.map fst holder))
   | exception Unix.Unix_error _ -> `Busy None
 
 let try_claim t ~key = try_claim_n t ~key 3

@@ -22,10 +22,23 @@
     missing entry: the winner creates [<digest>.lease] with [O_CREAT|O_EXCL]
     (phase one), computes, then {!store}s the payload via temp-file + atomic
     rename (phase two) and releases the lease.  Losers poll {!find} until
-    the winner commits.  A lease naming a dead pid (the holder was killed
-    mid-compute) is broken and re-claimed — the entry file itself is either
-    absent or complete, never torn, so a killed winner costs only a
+    the winner commits.  A lease naming a dead holder (the worker was
+    killed mid-compute) is broken and re-claimed — the entry file itself is
+    either absent or complete, never torn, so a killed winner costs only a
     recompute.  {!compute_through} packages the whole protocol.
+
+    {b Multi-host.} Under [--hosts] the cache root doubles as the result
+    store when it sits on a shared filesystem: remote workers commit
+    through the same lease protocol, so the coordinator and every machine
+    see one set of entries.  The lease therefore records
+    ["<pid> <hostname>"], and staleness is only decided where it can be
+    observed: a claimant breaks a lease only when the recorded host is its
+    own and that pid is dead — a remote holder's pid means nothing locally,
+    and probing it would break live leases.  A genuinely wedged remote
+    holder is bounded by {!compute_through}'s patience instead.  Without a
+    shared filesystem the cache stays per-machine (each side computes its
+    own misses) and results reach the coordinator via the worker-journal
+    pull in {!Procpool} — never through this cache.
 
     {b Invalidation.} The effective salt is [format_version ^ code_salt ^
     user salt]: bump {!code_salt} whenever a cached result type or the
@@ -49,7 +62,10 @@ val open_dir : ?salt:string -> ?max_entries:int -> string -> t
     rooted at [dir].  [salt] (default [""]) composes with {!code_salt};
     it must not contain ['"'], ['\\'] or newlines.  [max_entries] bounds the
     number of entries: after a store that exceeds it, the oldest entries
-    (by modification time) are evicted.  Thread-safe: one [t] may be shared
+    are evicted — ordered by modification time with equal mtimes broken by
+    digest filename, so the eviction set is deterministic even on
+    filesystems with 1-second mtime granularity (warm-run byte-identity
+    must not depend on readdir order).  Thread-safe: one [t] may be shared
     across pool domains, and one directory may be shared across worker
     processes (every mutation is temp-file + rename or [O_EXCL] create). *)
 
@@ -75,14 +91,15 @@ val store : t -> key:string -> 'a -> unit
 
 type lease
 (** A held claim on one cache entry (an on-disk [<digest>.lease] file naming
-    this process's pid). *)
+    this process's pid and hostname). *)
 
 val try_claim : t -> key:string -> [ `Claimed of lease | `Busy of int option ]
 (** Attempt to claim the right to compute [key].  [`Claimed l]: this
     process holds the lease and must eventually {!commit} or {!release} it.
     [`Busy pid]: another live process (of that pid, when readable) holds
-    it.  A lease whose recorded pid no longer exists is broken and
-    re-claimed atomically. *)
+    it.  A lease recorded by {e this} host (or a pre-hostname lease) whose
+    pid no longer exists is broken and re-claimed atomically; a remote
+    host's lease is never broken here (see the multi-host note above). *)
 
 val commit : t -> lease -> 'a -> unit
 (** {!store} the computed value, then release the lease.  The entry becomes

@@ -5,6 +5,11 @@ let mean = function
 let geomean = function
   | [] -> 0.0
   | xs ->
+    (* log of a non-positive silently yields nan/-inf and poisons the whole
+       mean; refuse loudly instead, like the zero-baseline normalizers.
+       [not (x > 0.)] also catches NaN inputs. *)
+    if List.exists (fun x -> not (x > 0.0)) xs then
+      invalid_arg "Stats.geomean: non-positive input";
     let n = float_of_int (List.length xs) in
     exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
 
@@ -21,6 +26,20 @@ let min_max = function
   | x :: xs ->
     List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
 
+(* The nearest rank ceil(p/100 * n), in integer arithmetic: the old
+   float path (ceil (p /. 100. *. float n)) went through the unrepresentable
+   p/100, so e.g. p=70, n=10 evaluated 0.7 *. 10. = 7.000000000000001 and
+   ceiled to rank 8 — the p70 of 10 samples returned the 8th element.
+   p is taken at milli-percent resolution (exact for any humanly written
+   percentile: 70., 99.9, 12.345), and the result is clamped to [1, n]. *)
+let nearest_rank ~p ~n =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.nearest_rank: p outside [0,100]";
+  if n < 1 then invalid_arg "Stats.nearest_rank: empty sample";
+  let pm = int_of_float (Float.round (p *. 1000.0)) in
+  let rank = ((pm * n) + 99_999) / 100_000 in
+  if rank < 1 then 1 else if rank > n then n else rank
+
 (* Nearest-rank percentile: the smallest element with at least p% of the
    sample at or below it.  Exact (no interpolation), monotone in p, and
    p = 0 / p = 100 hit the minimum / maximum. *)
@@ -30,9 +49,7 @@ let percentile xs ~p =
     invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = List.sort compare xs in
   let n = List.length sorted in
-  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
-  let rank = if rank < 1 then 1 else if rank > n then n else rank in
-  List.nth sorted (rank - 1)
+  List.nth sorted (nearest_rank ~p ~n - 1)
 
 let percentile_opt xs ~p = if xs = [] then None else Some (percentile xs ~p)
 

@@ -4,13 +4,26 @@ val mean : float list -> float
 (** Arithmetic mean; 0 for the empty list. *)
 
 val geomean : float list -> float
-(** Geometric mean of positive values; 0 for the empty list. *)
+(** Geometric mean of positive values; 0 for the empty list.  Raises
+    [Invalid_argument] on any non-positive (or NaN) input — it used to
+    feed it through [log] and silently return [nan]/[0.], the same silent
+    poisoning {!percent_overhead} refuses for a zero baseline. *)
 
 val stddev : float list -> float
 (** Population standard deviation; 0 for lists shorter than 2. *)
 
 val min_max : float list -> float * float
 (** Smallest and largest element.  Raises [Invalid_argument] on empty input. *)
+
+val nearest_rank : p:float -> n:int -> int
+(** The 1-based nearest rank [ceil (p/100 * n)] clamped to [[1, n]],
+    computed in integer arithmetic at milli-percent resolution so binary
+    floating point cannot bump an exact boundary to the next rank (the old
+    float path made [p = 70., n = 10] evaluate [0.7 *. 10. =
+    7.000000000000001] and ceil to rank 8).  Exact for any [p] with at
+    most three decimal digits (70., 99.9, 12.345).  Shared by
+    {!percentile} and [Latency.percentile].  Raises [Invalid_argument] on
+    [p] outside [[0, 100]] or [n < 1]. *)
 
 val percentile : float list -> p:float -> float
 (** [percentile xs ~p] is the nearest-rank percentile: the smallest element

@@ -98,6 +98,39 @@ let test_eviction_bounds_entries () =
       check Alcotest.int "bounded to max_entries" 2 (List.length (entries dir));
       check Alcotest.int "one eviction counted" 1 (Rescache.stats c).Rescache.evictions)
 
+let test_eviction_equal_mtime_deterministic () =
+  (* On a 1-second-granularity filesystem every entry of a fast run carries
+     the same mtime, so the victim set must fall back to the digest
+     filename — never readdir order.  Force the tie with utimes and check
+     the survivors are exactly the lexicographically-largest names. *)
+  with_cache_dir (fun dir ->
+      let big = Rescache.open_dir dir in
+      let keys = [ "k1"; "k2"; "k3"; "k4" ] in
+      List.iter (fun k -> Rescache.store big ~key:k 0) keys;
+      let old = Unix.time () -. 1000.0 in
+      List.iter
+        (fun f -> Unix.utimes (Filename.concat dir f) old old)
+        (entries dir);
+      let tied = List.sort compare (entries dir) in
+      check Alcotest.int "four tied entries" 4 (List.length tied);
+      (* a fifth store through a bounded handle must evict the three
+         smallest-named tied entries: the new entry is newer, and the
+         largest tied name wins the in-tie comparison *)
+      let c = Rescache.open_dir ~max_entries:2 dir in
+      Rescache.store c ~key:"k5" 0;
+      let survivors = entries dir in
+      check Alcotest.int "bounded to max_entries" 2 (List.length survivors);
+      check Alcotest.int "three evictions counted" 3 (Rescache.stats c).Rescache.evictions;
+      Alcotest.(check bool) "largest tied name survives" true
+        (List.mem (List.nth tied 3) survivors);
+      List.iteri
+        (fun i f ->
+          if i < 3 then
+            Alcotest.(check bool)
+              (Printf.sprintf "tied entry %d evicted" i)
+              false (List.mem f survivors))
+        tied)
+
 (* --- corruption recovery ------------------------------------------------ *)
 
 let only_entry dir =
@@ -328,6 +361,8 @@ let suite =
         Alcotest.test_case "store replaces" `Quick test_store_replaces;
         Alcotest.test_case "salt invalidation" `Quick test_salt_invalidation;
         Alcotest.test_case "eviction bounds entries" `Quick test_eviction_bounds_entries;
+        Alcotest.test_case "equal-mtime eviction is deterministic" `Quick
+          test_eviction_equal_mtime_deterministic;
       ] );
     ( "rescache.corruption",
       [

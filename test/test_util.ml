@@ -144,6 +144,15 @@ let test_stats_mean () =
 let test_stats_geomean () =
   check (Alcotest.float 1e-9) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
 
+let test_geomean_rejects () =
+  let reject name xs =
+    Alcotest.check_raises name (Invalid_argument "Stats.geomean: non-positive input")
+      (fun () -> ignore (Stats.geomean xs))
+  in
+  reject "zero" [ 1.0; 0.0; 4.0 ];
+  reject "negative" [ 2.0; -3.0 ];
+  reject "nan" [ 1.0; Float.nan ]
+
 let test_stats_stddev () =
   check (Alcotest.float 1e-9) "constant stddev" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
   check (Alcotest.float 1e-6) "known stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
@@ -248,6 +257,56 @@ let test_percentile_rejects () =
     (fun () -> ignore (Stats.percentile [ 1.0 ] ~p:100.5));
   Alcotest.check_raises "p < 0" (Invalid_argument "Stats.percentile: p outside [0,100]")
     (fun () -> ignore (Stats.percentile [ 1.0 ] ~p:(-1.0)))
+
+(* Known-answer tests for the nearest rank, over samples [1.; 2.; ...; n.]
+   where the value at rank r is simply [float r].  The p70/n=10 case is the
+   bug this PR fixes: the float rank path evaluated 0.7 *. 10. as
+   7.000000000000001 and ceiled to rank 8, returning 8.0 instead of 7.0. *)
+let test_percentile_kats () =
+  let one_to n = List.init n (fun i -> float_of_int (i + 1)) in
+  let kat ~p ~n expected_rank =
+    check Alcotest.int
+      (Printf.sprintf "nearest_rank p%g n=%d" p n)
+      expected_rank
+      (Stats.nearest_rank ~p ~n);
+    check (Alcotest.float 0.0)
+      (Printf.sprintf "percentile p%g n=%d" p n)
+      (float_of_int expected_rank)
+      (Stats.percentile (one_to n) ~p)
+  in
+  (* n = 3: ceil of 0.75 / 1.5 / 2.1 / 2.7 / 2.97 *)
+  kat ~p:25.0 ~n:3 1;
+  kat ~p:50.0 ~n:3 2;
+  kat ~p:70.0 ~n:3 3;
+  kat ~p:90.0 ~n:3 3;
+  kat ~p:99.0 ~n:3 3;
+  (* n = 10: ceil of 2.5 / 5 / 7 / 9 / 9.9 — p70 is the regression case *)
+  kat ~p:25.0 ~n:10 3;
+  kat ~p:50.0 ~n:10 5;
+  kat ~p:70.0 ~n:10 7;
+  kat ~p:90.0 ~n:10 9;
+  kat ~p:99.0 ~n:10 10;
+  (* n = 100: every rank boundary is exact *)
+  kat ~p:25.0 ~n:100 25;
+  kat ~p:50.0 ~n:100 50;
+  kat ~p:70.0 ~n:100 70;
+  kat ~p:90.0 ~n:100 90;
+  kat ~p:99.0 ~n:100 99;
+  (* fractional percentile as used by the load sweep's p999 column *)
+  check Alcotest.int "nearest_rank p99.9 n=1000" 999
+    (Stats.nearest_rank ~p:99.9 ~n:1000);
+  check Alcotest.int "nearest_rank p99.9 n=10" 10 (Stats.nearest_rank ~p:99.9 ~n:10)
+
+(* The integer rank must agree with exact rational arithmetic
+   ceil(p*n/100) for every integer percentile — precisely the cases the
+   float path got wrong. *)
+let nearest_rank_exact_prop =
+  QCheck.Test.make ~name:"nearest_rank matches exact rational ceil for integer p"
+    ~count:500
+    QCheck.(pair (int_range 0 100) (int_range 1 2000))
+    (fun (p, n) ->
+      let exact = max 1 (((p * n) + 99) / 100) in
+      Stats.nearest_rank ~p:(float_of_int p) ~n = exact)
 
 let percentile_monotone_prop =
   QCheck.Test.make ~name:"percentile is monotone in p and hits min/max" ~count:300
@@ -563,6 +622,7 @@ let suite =
       [
         Alcotest.test_case "mean" `Quick test_stats_mean;
         Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "geomean rejects non-positive" `Quick test_geomean_rejects;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
         Alcotest.test_case "min_max" `Quick test_stats_min_max;
         Alcotest.test_case "overhead" `Quick test_stats_overhead;
@@ -572,6 +632,8 @@ let suite =
         Alcotest.test_case "counter moments" `Quick test_counter_moments;
         Alcotest.test_case "percentile" `Quick test_percentile;
         Alcotest.test_case "percentile rejects" `Quick test_percentile_rejects;
+        Alcotest.test_case "percentile rank KATs" `Quick test_percentile_kats;
+        QCheck_alcotest.to_alcotest nearest_rank_exact_prop;
         QCheck_alcotest.to_alcotest percentile_monotone_prop;
         QCheck_alcotest.to_alcotest percentile_member_prop;
         QCheck_alcotest.to_alcotest stats_geomean_prop;
