@@ -1,6 +1,6 @@
 (* The full benchmark harness: regenerates every table and figure of the
    paper's evaluation (Tables 4.1, 7.1, 8.1, 8.2, 9.1, 10.1; Figures 9.1,
-   9.2, 9.3; the Chapter 8 PoC study, the 9.2 sensitivity analyses and the
+   9.2, 9.3; the Chapter 8 PoC study, the leakage-contract matrix, the 9.2 sensitivity analyses and the
    9.3-tail open-loop service curves), then runs Bechamel micro-benchmarks
    of Perspective's core primitives.
 
@@ -123,6 +123,18 @@ let poc_section () =
           Pv_attacks.Spectre_v1.Type_confusion;
         ];
       Tab.print vtab)
+
+let contracts_section () =
+  section "contracts" "Empirical leakage-contract matrix" (fun () ->
+      let module C = Pv_contracts.Contracts in
+      let cache = rescache () in
+      let config = { E.Supervise.default with jobs = !jobs; cache } in
+      let sweep = E.Supervise.run ~config (C.cells ()) in
+      let tab = C.matrix_table sweep.E.Supervise.results in
+      Tab.print tab;
+      maybe_csv "contracts" tab;
+      E.Supervise.report ~label:"contracts" sweep;
+      if !cache_stats then Option.iter Pv_util.Rescache.report cache)
 
 let perf_sections () =
   let needed =
@@ -257,7 +269,12 @@ let measure_cell ~workload ~scheme run =
 
 let cycles_section () =
   section "cycles" "Pipeline cycle-loop microbenchmark" (fun () ->
-      let variants = List.map E.Schemes.find bench_schemes in
+      let variants =
+        try List.map E.Schemes.find bench_schemes
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      in
       let cells =
         List.concat_map
           (fun name ->
@@ -484,7 +501,8 @@ let () =
         \       [--metrics FILE.json] [--trace-dir DIR] [--cache DIR] [--no-cache] [--cache-stats]\n\
         \       [--bench-out FILE.json] [--bench-guard]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
-        \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks comparisons sensitivity cycles\n"
+        \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks contracts comparisons\n\
+        \        sensitivity cycles\n"
         arg;
       exit 2
   in
@@ -494,6 +512,7 @@ let () =
   static_sections ();
   isv_sections ();
   poc_section ();
+  contracts_section ();
   perf_sections ();
   service_section ();
   cycles_section ();

@@ -6,6 +6,7 @@
      perf         cycle-level performance runs (Figures 9.2/9.3, Table 10.1)
      service      open-loop load-latency curves (Figure 9.3-tail)
      security     PoC verdict matrix as a supervised sweep (Chapter 8)
+     contracts    empirical leakage-contract matrix (attacks x schemes)
      sensitivity  view-cache capacity sweep, supervised
      hw           view-cache hardware characterization (Table 9.1)
      params       simulation parameters (Table 7.1)
@@ -28,6 +29,8 @@ let scheme_conv =
     | "PERSPECTIVE" -> Ok (Defense.Perspective Isv.Dynamic)
     | "PERSPECTIVE++" -> Ok (Defense.Perspective Isv.Plus)
     | "PERSPECTIVE-ALL" | "DSV-ONLY" -> Ok (Defense.Perspective Isv.All)
+    | "SAFESPEC" -> Ok Defense.Safespec
+    | "SPECBOX" -> Ok Defense.Specbox
     | _ -> Error (`Msg ("unknown scheme: " ^ s))
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Defense.scheme_name s))
@@ -39,7 +42,7 @@ let scheme_arg =
     & info [ "s"; "scheme" ] ~docv:"SCHEME"
         ~doc:
           "Defense scheme: unsafe, fence, dom, stt, perspective-static, perspective, \
-           perspective++, dsv-only.  Default: run all.")
+           perspective++, dsv-only, safespec, specbox.  Default: run all.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -413,6 +416,7 @@ let attack_cmd =
           Defense.Unsafe; Defense.Fence; Defense.Dom; Defense.Stt;
           Defense.Perspective Isv.All; Defense.Perspective Isv.Static;
           Defense.Perspective Isv.Dynamic; Defense.Perspective Isv.Plus;
+          Defense.Safespec; Defense.Specbox;
         ]
     in
     let section name f =
@@ -703,18 +707,105 @@ let service_cmd =
 (* --- security --- *)
 
 let security_cmd =
-  let run seed jobs sup =
-    with_sup_config sup ~jobs (fun config ->
-        let sweep = E.Supervise.run ~config (E.Security.run_pocs_cells ~seed ()) in
-        Tab.print (E.Security.poc_table_partial sweep.E.Supervise.results);
-        E.Supervise.report ~label:"pocs" sweep;
-        E.Supervise.exit_code [ sweep ])
+  let attacks_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "attacks" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated attack families to run ($(b,v1), $(b,v2), $(b,rsb)).  \
+             Default: all three.")
+  in
+  let run seed attacks jobs sup =
+    let usage fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; 2) fmt in
+    let attacks = Option.map split_commas attacks in
+    if attacks = Some [] then usage "--attacks lists no attack families"
+    else
+      match
+        try Ok (E.Security.run_pocs_cells ~seed ?attacks ())
+        with Invalid_argument msg -> Error msg
+      with
+      | Error msg -> usage "%s" msg
+      | Ok cells ->
+        with_sup_config sup ~jobs (fun config ->
+            let sweep = E.Supervise.run ~config cells in
+            Tab.print (E.Security.poc_table_partial sweep.E.Supervise.results);
+            E.Supervise.report ~label:"pocs" sweep;
+            E.Supervise.exit_code [ sweep ])
   in
   let doc =
     "Proof-of-concept transient-execution attacks under every scheme (Chapter 8), \
      as a supervised sweep."
   in
-  Cmd.v (Cmd.info "security" ~doc) Term.(const run $ seed_arg $ jobs_arg $ sup_term)
+  Cmd.v (Cmd.info "security" ~doc)
+    Term.(const run $ seed_arg $ attacks_arg $ jobs_arg $ sup_term)
+
+(* --- contracts --- *)
+
+let contracts_cmd =
+  let module C = Pv_contracts.Contracts in
+  let attacks_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "attacks" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf "Comma-separated attack names (%s).  Default: all."
+               (String.concat ", " C.attack_names)))
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schemes" ] ~docv:"LABELS"
+          ~doc:
+            (Printf.sprintf "Comma-separated scheme labels (%s).  Default: all."
+               (String.concat ", " C.scheme_labels)))
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the matrix as CSV to $(docv).")
+  in
+  let run seed attacks schemes csv jobs sup =
+    let usage fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; 2) fmt in
+    let attacks = Option.map split_commas attacks in
+    let schemes = Option.map split_commas schemes in
+    if attacks = Some [] then usage "--attacks lists no attack names"
+    else if schemes = Some [] then usage "--schemes lists no scheme labels"
+    else
+      match
+        (* Normalize scheme labels through the registry so matrix lookups
+           match the canonical cell keys whatever the input case. *)
+        try
+          let schemes =
+            Option.map (List.map (fun l -> Defense.scheme_name (C.find_scheme l))) schemes
+          in
+          Ok (schemes, C.cells ~seed ?attacks ?schemes ())
+        with Invalid_argument msg -> Error msg
+      with
+      | Error msg -> usage "%s" msg
+      | Ok (schemes, cells) ->
+        with_sup_config sup ~jobs (fun config ->
+            let sweep = E.Supervise.run ~config cells in
+            let results = sweep.E.Supervise.results in
+            Tab.print (C.matrix_table ?attacks ?schemes results);
+            Option.iter
+              (fun file ->
+                let oc = open_out file in
+                output_string oc (C.matrix_csv ?attacks ?schemes results);
+                close_out oc)
+              csv;
+            E.Supervise.report ~label:"contracts" sweep;
+            E.Supervise.exit_code [ sweep ])
+  in
+  let doc =
+    "Empirical leakage-contract matrix: run every attack twice with differing \
+     planted secrets under every scheme, diff the canonical observation traces \
+     and classify each cell as ARCH-SEQ, CT-SEQ or CT-SPEC."
+  in
+  Cmd.v (Cmd.info "contracts" ~doc)
+    Term.(const run $ seed_arg $ attacks_arg $ schemes_arg $ csv_arg $ jobs_arg $ sup_term)
 
 (* --- sensitivity --- *)
 
@@ -758,8 +849,8 @@ let () =
   let group =
     Cmd.group info
       [
-        attack_cmd; surface_cmd; perf_cmd; service_cmd; security_cmd; sensitivity_cmd;
-        hw_cmd; params_cmd; cves_cmd;
+        attack_cmd; surface_cmd; perf_cmd; service_cmd; security_cmd; contracts_cmd;
+        sensitivity_cmd; hw_cmd; params_cmd; cves_cmd;
       ]
   in
   (* Exit codes: 0 clean, 1 a sweep had failed cells (commands return it),

@@ -17,12 +17,17 @@ type t = {
   mutable defense : Defense.t option;
 }
 
-let create ~prog ~node_of_fid ~nnodes ?(frames = 1024) ~seed () =
+let create ~prog ~node_of_fid ~nnodes ?(frames = 1024) ?(trace = false) ~seed () =
   ignore seed;
   let phys = Physmem.create ~frames in
   let mem = Mem.create () in
   let ms = Memsys.create mem in
-  let pipe = Pipeline.create ms prog in
+  let config =
+    if trace then
+      { Pipeline.default_config with trace_events = true; trace_capacity = 65536 }
+    else Pipeline.default_config
+  in
+  let pipe = Pipeline.create ~config ms prog in
   { phys; mem; ms; pipe; node_of_fid; nnodes; defense = None }
 
 let phys t = t.phys
@@ -48,11 +53,16 @@ let install t ~scheme ~views =
       let kind =
         match scheme with
         | Defense.Perspective k -> k
-        | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt -> Isv.All
+        | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt
+        | Defense.Safespec | Defense.Specbox ->
+          Isv.All
       in
       View_manager.register vm ~asid ~ctx ~isv:(Isv.of_nodes kind nodes))
     views;
-  let d = Defense.build ~scheme ~vm ~node_of_fid:t.node_of_fid ~block_unknown:true () in
+  let d =
+    Defense.build ~scheme ~vm ~node_of_fid:t.node_of_fid ~block_unknown:true
+      ~memsys:t.ms ()
+  in
   t.defense <- Some d;
   Pipeline.set_guard t.pipe (Defense.guard d)
 

@@ -15,9 +15,12 @@ val create :
   node_of_fid:(int -> int option) ->
   nnodes:int ->
   ?frames:int ->
+  ?trace:bool ->
   seed:int ->
   unit ->
   t
+(** [trace] (default false) turns on the pipeline's event-trace ring with a
+    64 K capacity — the contract checker's observation tap. *)
 
 val phys : t -> Pv_kernel.Physmem.t
 val mem : t -> Pv_isa.Mem.t

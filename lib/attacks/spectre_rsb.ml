@@ -80,9 +80,9 @@ let victim_ctx = 2
 
 let node_of_fid fid = if fid = v_fid then Some 0 else None
 
-let run ?(seed = 13) ~scheme () =
+let run ?(seed = 13) ?secret ?(trace = false) ?on_commit ?observe ~scheme () =
   let rng = Rng.create seed in
-  let secret = Rng.int rng 256 in
+  let secret = match secret with Some s -> s land 255 | None -> Rng.int rng 256 in
   let prog =
     Program.of_funcs
       [
@@ -92,7 +92,7 @@ let run ?(seed = 13) ~scheme () =
         { Program.fid = victim_fid; name = "victim"; space = Layout.User; body = victim_driver () };
       ]
   in
-  let lab = Lab.create ~prog ~node_of_fid ~nnodes:2 ~seed () in
+  let lab = Lab.create ~prog ~node_of_fid ~nnodes:2 ~trace ~seed () in
   let alloc1 owner =
     match Lab.alloc lab ~owner ~count:1 with [ va ] -> va | _ -> assert false
   in
@@ -115,7 +115,7 @@ let run ?(seed = 13) ~scheme () =
       Pipeline.on_syscall =
         (fun _ -> Iss.Redirect (v_fid, [ (9, vic_params); (10, transmit) ]));
       on_sysret = (fun _ -> Iss.Skip);
-      on_commit = None;
+      on_commit;
     }
   in
   (* 1. Attacker leaves the gadget VA in the return address stack. *)
@@ -143,6 +143,8 @@ let run ?(seed = 13) ~scheme () =
   | Pipeline.Halted -> ()
   | Pipeline.Out_of_fuel | Pipeline.Fault _ -> failwith "rsb: victim run failed");
   let delta = Pipeline.diff_counters (Pipeline.counters pipe) before in
+  (* Observation point for the contract checker (pre-reload). *)
+  (match observe with Some f -> f lab | None -> ());
   let hot = Lab.hot_slots lab ~base:transmit ~slots:256 in
   let leaked = match hot with [ s ] -> Some s | _ -> None in
   {
@@ -164,6 +166,8 @@ let run_all ?(seed = 13) () =
       Defense.Perspective Perspective.Isv.Static;
       Defense.Perspective Perspective.Isv.Dynamic;
       Defense.Perspective Perspective.Isv.Plus;
+      Defense.Safespec;
+      Defense.Specbox;
     ]
   in
   List.map (fun scheme -> run ~seed ~scheme ()) schemes

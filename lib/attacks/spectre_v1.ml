@@ -98,7 +98,7 @@ let attacker_ctx = 1
 (* Memory layout is allocated deterministically, so the lab can be rebuilt
    with the final program once the attack argument (which depends on the
    victim's address) is known. *)
-let build_lab ~seed ~variant ~train_idx ~attack_idx =
+let build_lab ?(trace = false) ~seed ~variant ~train_idx ~attack_idx () =
   let prog =
     Program.of_funcs
       [
@@ -120,7 +120,7 @@ let build_lab ~seed ~variant ~train_idx ~attack_idx =
   let lab =
     Lab.create ~prog
       ~node_of_fid:(fun fid -> if fid = vuln_fid then Some 0 else None)
-      ~nnodes:4 ~seed ()
+      ~nnodes:4 ~trace ~seed ()
   in
   let alloc1 owner =
     match Lab.alloc lab ~owner ~count:1 with [ va ] -> va | _ -> assert false
@@ -135,13 +135,14 @@ let build_lab ~seed ~variant ~train_idx ~attack_idx =
   let secret_va = alloc1 (Physmem.Cgroup victim_ctx) in
   (lab, array1, bound_va, transmit, secret_va)
 
-let run ?(seed = 7) ?(variant = Array_index) ~scheme () =
+let run ?(seed = 7) ?(variant = Array_index) ?secret ?(trace = false) ?on_commit
+    ?observe ~scheme () =
   let rng = Rng.create seed in
-  let secret = Rng.int rng 256 in
+  let secret = match secret with Some s -> s land 255 | None -> Rng.int rng 256 in
   (* First pass discovers the address layout; second pass bakes the real
      attack argument into the trigger program. *)
   let _, array1_0, _, _, secret_va_0 =
-    build_lab ~seed ~variant ~train_idx:0 ~attack_idx:0
+    build_lab ~seed ~variant ~train_idx:0 ~attack_idx:0 ()
   in
   let train_idx, attack_idx =
     match variant with
@@ -150,7 +151,7 @@ let run ?(seed = 7) ?(variant = Array_index) ~scheme () =
     | Type_confusion -> (array1_0 (* its own buffer, a legal pointer *), secret_va_0)
   in
   let lab, array1, bound_va, transmit, secret_va =
-    build_lab ~seed ~variant ~train_idx ~attack_idx
+    build_lab ~trace ~seed ~variant ~train_idx ~attack_idx ()
   in
   assert (array1 = array1_0 && secret_va = secret_va_0);
   (match variant with
@@ -175,7 +176,7 @@ let run ?(seed = 7) ?(variant = Array_index) ~scheme () =
         (fun _regs ->
           Iss.Redirect (vuln_fid, [ (8, array1); (9, bound_va); (10, transmit) ]));
       on_sysret = (fun _ -> Iss.Skip);
-      on_commit = None;
+      on_commit;
     }
   in
   (* 1. Mistrain the guarding branch with benign calls. *)
@@ -202,6 +203,10 @@ let run ?(seed = 7) ?(variant = Array_index) ~scheme () =
   | Pipeline.Halted -> ()
   | Pipeline.Out_of_fuel | Pipeline.Fault _ -> failwith "v1: attack run failed");
   let delta = Pipeline.diff_counters (Pipeline.counters pipe) before in
+  (* Observation point: the machine state is pristine post-attack — the
+     contract checker snapshots cache signatures here, before the reload
+     sweep perturbs them. *)
+  (match observe with Some f -> f lab | None -> ());
   (* 5. Reload: which covert-channel line became hot? *)
   let hot = Lab.hot_slots lab ~base:transmit ~slots:256 in
   let leaked = match hot with [ s ] -> Some s | _ -> None in
@@ -224,6 +229,8 @@ let run_all ?(seed = 7) () =
       Defense.Perspective Perspective.Isv.Static;
       Defense.Perspective Perspective.Isv.Dynamic;
       Defense.Perspective Perspective.Isv.Plus;
+      Defense.Safespec;
+      Defense.Specbox;
     ]
   in
   List.map (fun scheme -> run ~seed ~scheme ()) schemes

@@ -36,8 +36,21 @@ type outcome = {
 }
 
 val run :
-  ?seed:int -> ?variant:variant -> scheme:Perspective.Defense.scheme -> unit -> outcome
-(** Default variant: [Array_index]. *)
+  ?seed:int ->
+  ?variant:variant ->
+  ?secret:int ->
+  ?trace:bool ->
+  ?on_commit:(int -> int -> Pv_isa.Insn.t -> unit) ->
+  ?observe:(Lab.t -> unit) ->
+  scheme:Perspective.Defense.scheme ->
+  unit ->
+  outcome
+(** Default variant: [Array_index].  [secret] overrides the seed-derived
+    planted byte (masked to 0–255); the memory layout is secret-independent,
+    which is what makes the contract checker's two-secret diff meaningful.
+    [trace] turns on the lab pipeline's event ring; [on_commit] taps the
+    commit stream; [observe] runs after the attack but {e before} the
+    flush+reload sweep, on pristine post-attack cache state. *)
 
 val run_all : ?seed:int -> unit -> outcome list
 (** One outcome per scheme in {!Perspective.Defense.all_schemes}. *)

@@ -91,9 +91,9 @@ let node_of_fid fid =
   else if fid = g_fid then Some 2
   else None
 
-let run ?(seed = 11) ~scheme () =
+let run ?(seed = 11) ?secret ?(trace = false) ?on_commit ?observe ~scheme () =
   let rng = Rng.create seed in
-  let secret = Rng.int rng 256 in
+  let secret = match secret with Some s -> s land 255 | None -> Rng.int rng 256 in
   let prog =
     Program.of_funcs
       [
@@ -104,7 +104,7 @@ let run ?(seed = 11) ~scheme () =
         { Program.fid = victim_fid; name = "victim"; space = Layout.User; body = driver ~count:1 };
       ]
   in
-  let lab = Lab.create ~prog ~node_of_fid ~nnodes:4 ~seed () in
+  let lab = Lab.create ~prog ~node_of_fid ~nnodes:4 ~trace ~seed () in
   let alloc1 owner =
     match Lab.alloc lab ~owner ~count:1 with [ va ] -> va | _ -> assert false
   in
@@ -139,7 +139,8 @@ let run ?(seed = 11) ~scheme () =
     match scheme with
     | Defense.Perspective Isv.All -> Bitset.of_list 4 [ 0; 1; 2; 3 ]
     | Defense.Perspective (Isv.Static | Isv.Dynamic | Isv.Plus)
-    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt ->
+    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt
+    | Defense.Safespec | Defense.Specbox ->
       Bitset.of_list 4 [ 0; 1 ]
   in
   Lab.install lab ~scheme
@@ -150,7 +151,7 @@ let run ?(seed = 11) ~scheme () =
       Pipeline.on_syscall =
         (fun _ -> Iss.Redirect (v_fid, [ (9, params); (10, transmit); (13, table) ]));
       on_sysret = (fun _ -> Iss.Skip);
-      on_commit = None;
+      on_commit;
     }
   in
   (* 1. Attacker trains the BTB entry of V's indirect call toward G by
@@ -180,6 +181,8 @@ let run ?(seed = 11) ~scheme () =
   | Pipeline.Halted -> ()
   | Pipeline.Out_of_fuel | Pipeline.Fault _ -> failwith "v2: victim run failed");
   let delta = Pipeline.diff_counters (Pipeline.counters pipe) before in
+  (* Observation point for the contract checker (pre-reload). *)
+  (match observe with Some f -> f lab | None -> ());
   (* 4. Attacker decodes the covert channel. *)
   let hot = Lab.hot_slots lab ~base:transmit ~slots:256 in
   let leaked = match hot with [ s ] -> Some s | _ -> None in
@@ -203,6 +206,8 @@ let run_all ?(seed = 11) () =
       Defense.Perspective Isv.Static;
       Defense.Perspective Isv.Dynamic;
       Defense.Perspective Isv.Plus;
+      Defense.Safespec;
+      Defense.Specbox;
     ]
   in
   List.map (fun scheme -> run ~seed ~scheme ()) schemes

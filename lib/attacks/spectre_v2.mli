@@ -24,7 +24,18 @@ type outcome = {
   hot_slot_count : int;
 }
 
-val run : ?seed:int -> scheme:Perspective.Defense.scheme -> unit -> outcome
+val run :
+  ?seed:int ->
+  ?secret:int ->
+  ?trace:bool ->
+  ?on_commit:(int -> int -> Pv_isa.Insn.t -> unit) ->
+  ?observe:(Lab.t -> unit) ->
+  scheme:Perspective.Defense.scheme ->
+  unit ->
+  outcome
+(** [secret] overrides the seed-derived planted byte (masked to 0–255;
+    layout is secret-independent).  [trace]/[on_commit]/[observe] are the
+    contract checker's observation taps — see {!Spectre_v1.run}. *)
 
 val run_all : ?seed:int -> unit -> outcome list
 (** All baseline schemes, the DSV-only configuration

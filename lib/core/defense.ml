@@ -1,7 +1,14 @@
 module Guard = Pv_uarch.Guard
 module Layout = Pv_isa.Layout
 
-type scheme = Unsafe | Fence | Dom | Stt | Perspective of Isv.kind
+type scheme =
+  | Unsafe
+  | Fence
+  | Dom
+  | Stt
+  | Perspective of Isv.kind
+  | Safespec
+  | Specbox
 
 let scheme_name = function
   | Unsafe -> "UNSAFE"
@@ -12,6 +19,8 @@ let scheme_name = function
   | Perspective Isv.Dynamic -> "PERSPECTIVE"
   | Perspective Isv.Plus -> "PERSPECTIVE++"
   | Perspective Isv.All -> "PERSPECTIVE-ALL"
+  | Safespec -> "SAFESPEC"
+  | Specbox -> "SPECBOX"
 
 let all_schemes =
   [
@@ -29,6 +38,7 @@ type t = {
   dsv_cache : Svcache.t;
   isv_pages : Isv_pages.t;
   vm : View_manager.t;
+  shadow : Shadow.t option;
 }
 
 let isv_key_of_va va = va / Layout.line_bytes
@@ -95,13 +105,50 @@ let perspective_guard ~vm ~node_of_fid ~block_unknown ~isv_cache ~dsv_cache ~isv
       | None -> ()
     end
   in
-  { Guard.name; check; notify_vp = Some notify_vp }
+  {
+    Guard.name;
+    check;
+    notify_vp = Some notify_vp;
+    spec_read = None;
+    notify_squash = None;
+    shadow_btb = false;
+  }
+
+(* A shadow guard never blocks: speculative loads execute against the shadow
+   table ([spec_read]) and are promoted into the real hierarchy at the
+   Visibility Point; a squash discards them ([notify_squash]). *)
+let shadow_guard shadow name =
+  {
+    Guard.name;
+    check = (fun _ -> Guard.Allow);
+    notify_vp =
+      Some
+        (fun ~insn_va:_ ~addr ~asid ~kernel_mode:_ ->
+          Shadow.promote shadow ~key:(Layout.phys_key ~asid addr) ~asid);
+    spec_read = Some (fun ~key ~asid -> Shadow.spec_read shadow ~key ~asid);
+    notify_squash = Some (fun ~asid -> Shadow.squash shadow ~asid);
+    shadow_btb = true;
+  }
 
 let build ~scheme ~vm ~node_of_fid ~block_unknown ?(isv_cache_entries = 128)
-    ?(dsv_cache_entries = 128) () =
+    ?(dsv_cache_entries = 128) ?memsys () =
   let isv_cache = Svcache.create ~entries:isv_cache_entries ~name:"ISV cache" () in
   let dsv_cache = Svcache.create ~entries:dsv_cache_entries ~name:"DSV cache" () in
   let isv_pages = Isv_pages.create () in
+  let shadow_of mode =
+    match memsys with
+    | Some ms -> Shadow.create ~mode ms
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Defense.build: scheme %s needs ~memsys (shadow structures probe the real hierarchy)"
+           (scheme_name scheme))
+  in
+  let shadow =
+    match scheme with
+    | Safespec -> Some (shadow_of Shadow.Shared)
+    | Specbox -> Some (shadow_of Shadow.Labeled)
+    | Unsafe | Fence | Dom | Stt | Perspective _ -> None
+  in
   let guard =
     match scheme with
     | Unsafe -> Guard.allow_all
@@ -111,6 +158,9 @@ let build ~scheme ~vm ~node_of_fid ~block_unknown ?(isv_cache_entries = 128)
         check =
           (fun q -> if q.Guard.speculative then Guard.Block Guard.Baseline else Guard.Allow);
         notify_vp = None;
+        spec_read = None;
+        notify_squash = None;
+        shadow_btb = false;
       }
     | Dom ->
       {
@@ -120,6 +170,9 @@ let build ~scheme ~vm ~node_of_fid ~block_unknown ?(isv_cache_entries = 128)
             if q.Guard.speculative && not q.Guard.l1_hit then Guard.Block Guard.Baseline
             else Guard.Allow);
         notify_vp = None;
+        spec_read = None;
+        notify_squash = None;
+        shadow_btb = false;
       }
     | Stt ->
       {
@@ -127,15 +180,23 @@ let build ~scheme ~vm ~node_of_fid ~block_unknown ?(isv_cache_entries = 128)
         check =
           (fun q -> if q.Guard.tainted then Guard.Block Guard.Baseline else Guard.Allow);
         notify_vp = None;
+        spec_read = None;
+        notify_squash = None;
+        shadow_btb = false;
       }
     | Perspective _ ->
       perspective_guard ~vm ~node_of_fid ~block_unknown ~isv_cache ~dsv_cache
         ~isv_pages (scheme_name scheme)
+    | Safespec | Specbox -> (
+      match shadow with
+      | Some sh -> shadow_guard sh (String.lowercase_ascii (scheme_name scheme))
+      | None -> assert false)
   in
-  { scheme; guard; isv_cache; dsv_cache; isv_pages; vm }
+  { scheme; guard; isv_cache; dsv_cache; isv_pages; vm; shadow }
 
 let guard t = t.guard
 let scheme t = t.scheme
+let shadow t = t.shadow
 let isv_cache t = t.isv_cache
 let dsv_cache t = t.dsv_cache
 

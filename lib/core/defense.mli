@@ -11,7 +11,13 @@
       load is fenced when the instruction is outside the context's ISV
       (checked through the ISV cache) or the data is outside its DSV
       (checked through the DSV cache backed by DSVMT walks).  A view-cache
-      miss conservatively fences and refills (§6.2). *)
+      miss conservatively fences and refills (§6.2).
+    - [Safespec]: shadow structures — speculative loads fill a shared shadow
+      table (and the BTB trains only at commit); squash discards everything,
+      the Visibility Point promotes survivors into the real hierarchy.
+    - [Specbox]: like [Safespec] but shadow entries are labeled per ASID:
+      hits require a label match and a squash flushes only the squashing
+      domain's entries. *)
 
 type scheme =
   | Unsafe
@@ -19,6 +25,8 @@ type scheme =
   | Dom
   | Stt
   | Perspective of Isv.kind
+  | Safespec
+  | Specbox
 
 val scheme_name : scheme -> string
 val all_schemes : scheme list
@@ -33,14 +41,22 @@ val build :
   block_unknown:bool ->
   ?isv_cache_entries:int ->
   ?dsv_cache_entries:int ->
+  ?memsys:Pv_uarch.Memsys.t ->
   unit ->
   t
 (** Instantiate a defense.  [vm], [node_of_fid] are only consulted by
     Perspective guards; pass a throwaway view manager for the others.
-    Cache capacities default to the paper's 128 entries. *)
+    Cache capacities default to the paper's 128 entries.  [memsys] (the
+    core's memory hierarchy) is required by the shadow schemes
+    [Safespec]/[Specbox] — raises [Invalid_argument] when omitted for those
+    — and ignored by every other scheme. *)
 
 val guard : t -> Pv_uarch.Guard.t
 val scheme : t -> scheme
+
+val shadow : t -> Shadow.t option
+(** The shadow table behind a [Safespec]/[Specbox] guard ([None] for other
+    schemes) — exposed for tests and counters. *)
 
 val isv_cache : t -> Svcache.t
 val dsv_cache : t -> Svcache.t

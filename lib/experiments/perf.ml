@@ -47,7 +47,8 @@ let execute ?fuel ?(trace = false) ?on_commit ~seed ~block_unknown ~view_cache_e
     match variant.Schemes.scheme with
     | Defense.Perspective Perspective.Isv.Plus -> true
     | Defense.Perspective (Perspective.Isv.Static | Perspective.Isv.Dynamic | Perspective.Isv.All)
-    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt ->
+    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt
+    | Defense.Safespec | Defense.Specbox ->
       false
   in
   let m, h, result, delta =

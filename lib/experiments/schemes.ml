@@ -28,6 +28,10 @@ let dom = plain "DOM" Defense.Dom
 
 let stt = plain "STT" Defense.Stt
 
+let safespec = plain "SAFESPEC" Defense.Safespec
+
+let specbox = plain "SPECBOX" Defense.Specbox
+
 let retpoline =
   { label = "RETPOLINE"; scheme = Defense.Unsafe; transform = Perspective.Spot.retpoline }
 
@@ -40,10 +44,20 @@ let kpti_retpoline =
 
 let standard = [ unsafe; fence; perspective_static; perspective; perspective_plus ]
 
-let hardware = [ dom; stt ]
+let hardware = [ dom; stt; safespec; specbox ]
 
 let spot = [ retpoline; kpti_retpoline ]
 
 let everything = standard @ hardware @ spot
 
-let find label = List.find (fun v -> v.label = label) everything
+let valid_labels () = List.map (fun v -> v.label) everything
+
+let find_opt label = List.find_opt (fun v -> v.label = label) everything
+
+let find label =
+  match find_opt label with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown scheme label %S (valid: %s)" label
+         (String.concat ", " (valid_labels ())))

@@ -54,13 +54,25 @@ let run_pocs ?(seed = 7) ?(jobs = 1) () =
   List.concat
     (Pv_util.Pool.run ~jobs (fun (_, family) -> family ()) (families ~seed ()))
 
-let run_pocs_cells ?(seed = 7) () =
-  List.map
+let family_names = [ "v1"; "v2"; "rsb" ]
+
+let run_pocs_cells ?(seed = 7) ?(attacks = family_names) () =
+  List.iter
+    (fun a ->
+      if not (List.mem a family_names) then
+        invalid_arg
+          (Printf.sprintf "unknown attack family %S (valid: %s)" a
+             (String.concat ", " family_names)))
+    attacks;
+  List.filter_map
     (fun (name, family) ->
-      Supervise.cell
-        ~cache:(Printf.sprintf "security/pocs|family=%s|seed=%d" name seed)
-        ("pocs/" ^ name)
-        (fun ~fuel:_ -> family ()))
+      if not (List.mem name attacks) then None
+      else
+        Some
+          (Supervise.cell
+             ~cache:(Printf.sprintf "security/pocs|family=%s|seed=%d" name seed)
+             ("pocs/" ^ name)
+             (fun ~fuel:_ -> family ())))
     (families ~seed ())
 
 let poc_table pocs =

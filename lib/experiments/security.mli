@@ -17,10 +17,15 @@ val run_pocs : ?seed:int -> ?jobs:int -> unit -> poc list
 
 val poc_table : poc list -> Pv_util.Tab.t
 
-val run_pocs_cells : ?seed:int -> unit -> poc list Supervise.cell list
+val family_names : string list
+(** [["v1"; "v2"; "rsb"]], in declaration order. *)
+
+val run_pocs_cells : ?seed:int -> ?attacks:string list -> unit -> poc list Supervise.cell list
 (** The three attack families as supervised cells (keys ["pocs/v1"],
     ["pocs/v2"], ["pocs/rsb"]) for {!Supervise.run}: a crashing family
-    degrades to a missing section instead of aborting the evaluation. *)
+    degrades to a missing section instead of aborting the evaluation.
+    [attacks] restricts the sweep to the named families (registry order is
+    kept); an unknown name raises [Invalid_argument] listing the valid ones. *)
 
 val poc_table_partial : (string * poc list option) list -> Pv_util.Tab.t
 (** {!poc_table} over the surviving families of a supervised sweep; failed

@@ -24,7 +24,8 @@ let total_cycles ?fuel ~seed ~block_unknown ~scheme ~label (app : Apps.app) ~req
     | Defense.Perspective Perspective.Isv.Plus -> true
     | Defense.Perspective
         (Perspective.Isv.Static | Perspective.Isv.Dynamic | Perspective.Isv.All)
-    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt ->
+    | Defense.Unsafe | Defense.Fence | Defense.Dom | Defense.Stt
+    | Defense.Safespec | Defense.Specbox ->
       false
   in
   let _m, _h, result, _delta =

@@ -250,7 +250,8 @@ let install_defense t ?(gadget_nodes = []) ?(block_unknown = true)
           Pv_isvgen.Audit.harden (Pv_isvgen.Dynamic_isv.generate t.kernel ~ctx) ~gadget_nodes
         | Perspective.Defense.Perspective Perspective.Isv.All
         | Perspective.Defense.Unsafe | Perspective.Defense.Fence
-        | Perspective.Defense.Dom | Perspective.Defense.Stt ->
+        | Perspective.Defense.Dom | Perspective.Defense.Stt
+        | Perspective.Defense.Safespec | Perspective.Defense.Specbox ->
           Perspective.Isv.all ~nnodes:(Callgraph.nnodes graph)
       in
       Perspective.View_manager.register vm ~asid:(Process.asid h.proc) ~ctx ~isv)
@@ -258,7 +259,7 @@ let install_defense t ?(gadget_nodes = []) ?(block_unknown = true)
   let d =
     Perspective.Defense.build ~scheme ~vm
       ~node_of_fid:(Kimage.node_of_fid t.kimage)
-      ~block_unknown ~isv_cache_entries ~dsv_cache_entries ()
+      ~block_unknown ~isv_cache_entries ~dsv_cache_entries ~memsys:(memsys t) ()
   in
   t.defense <- Some d;
   Pipeline.set_guard (pipeline t) (Perspective.Defense.guard d)

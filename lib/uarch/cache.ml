@@ -121,6 +121,27 @@ let flush_line t addr =
 let flush_all t =
   Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.sets
 
+let state_signature t =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun si set ->
+      Array.iteri
+        (fun wi w ->
+          if w.valid then begin
+            (* Recency as ordinal rank within the set, not the raw tick, so
+               two caches holding the same lines in the same order render
+               identically regardless of access counts. *)
+            let rank =
+              Array.fold_left
+                (fun acc o -> if o.valid && o.lru < w.lru then acc + 1 else acc)
+                0 set
+            in
+            Buffer.add_string buf (Printf.sprintf "%d.%d:%d@%d;" si wi w.tag rank)
+          end)
+        set)
+    t.sets;
+  Buffer.contents buf
+
 let hits t = t.hits
 let misses t = t.misses
 

@@ -34,6 +34,14 @@ val probe : t -> int -> bool
 val flush_line : t -> int -> unit
 val flush_all : t -> unit
 
+val state_signature : t -> string
+(** Canonical rendering of the cache's architectural state: every resident
+    line as [set.way:tag@rank;] where [rank] is the line's LRU ordinal within
+    its set (0 = least recent).  Two caches holding the same lines with the
+    same relative recency produce identical signatures regardless of how many
+    accesses built that state — the contract checker diffs these across runs
+    with different secrets. *)
+
 val hits : t -> int
 val misses : t -> int
 val hit_rate : t -> float

@@ -17,6 +17,17 @@ type t = {
   name : string;
   check : query -> decision;
   notify_vp : (insn_va:int -> addr:int -> asid:int -> kernel_mode:bool -> unit) option;
+  spec_read : (key:int -> asid:int -> int) option;
+  notify_squash : (asid:int -> unit) option;
+  shadow_btb : bool;
 }
 
-let allow_all = { name = "unsafe"; check = (fun _ -> Allow); notify_vp = None }
+let allow_all =
+  {
+    name = "unsafe";
+    check = (fun _ -> Allow);
+    notify_vp = None;
+    spec_read = None;
+    notify_squash = None;
+    shadow_btb = false;
+  }

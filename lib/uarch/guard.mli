@@ -30,6 +30,20 @@ type t = {
   notify_vp : (insn_va:int -> addr:int -> asid:int -> kernel_mode:bool -> unit) option;
       (** Called once when a load reaches its Visibility Point; Perspective
           uses it for the deferred LRU update of its view caches (§6.2). *)
+  spec_read : (key:int -> asid:int -> int) option;
+      (** When set, a speculative load's memory access is redirected here
+          instead of filling the real cache hierarchy: the guard returns the
+          access latency and tracks the line in its own shadow structures
+          (SafeSpec/SpecBox).  Non-speculative loads always use the real
+          hierarchy.  [key] is the physical line key
+          ([Layout.phys_key ~asid addr]). *)
+  notify_squash : (asid:int -> unit) option;
+      (** Called once per pipeline squash, before re-steer; shadow-structure
+          schemes discard speculative fills here. *)
+  shadow_btb : bool;
+      (** When true the BTB is treated as a shadow structure: speculative
+          resolve-time updates are suppressed and the BTB learns indirect
+          targets only at commit (SafeSpec shadow BTB). *)
 }
 
 val allow_all : t

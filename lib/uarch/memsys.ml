@@ -55,6 +55,7 @@ let mem t = t.mem
 let l1i t = t.l1i
 let l1d t = t.l1d
 let l2 t = t.l2
+let dram_latency t = t.dram_latency
 
 (* Latency-only walk: the pipeline's per-cycle paths use this so a cache
    access never allocates a result tuple. *)

@@ -29,6 +29,7 @@ val mem : t -> Pv_isa.Mem.t
 val l1i : t -> Cache.t
 val l1d : t -> Cache.t
 val l2 : t -> Cache.t
+val dram_latency : t -> int
 
 val data_read : t -> int -> int * bool
 (** [data_read t key] performs a load access: returns (round-trip latency,

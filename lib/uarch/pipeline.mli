@@ -230,7 +230,16 @@ val run :
     view-miss event: the guard parked the load because the speculation-view
     lookup failed. *)
 
-type event_kind = Ev_squash | Ev_fence of Guard.source | Ev_vp_release
+type event_kind =
+  | Ev_squash
+  | Ev_fence of Guard.source
+  | Ev_vp_release
+  | Ev_dload of int
+      (** D-cache access by an architecturally-surviving load, recorded at its
+          Visibility Point; the payload is the physical line index.  Squashed
+          transient loads never appear, so this trace is the sequential
+          projection of the access stream — the contract checker's CT-seq
+          observation. *)
 
 type event = {
   ev_cycle : int;

@@ -276,7 +276,11 @@ type result = { outcome : outcome; cycles : int; committed : int; regs : int arr
    [trace_capacity] entries when [config.trace_events] is on.  A fence event
    (Ev_fence Isv/Dsv) is exactly a view miss — the guard blocked the load
    because the ISV/DSV lookup said "out of view". *)
-type event_kind = Ev_squash | Ev_fence of Guard.source | Ev_vp_release
+type event_kind =
+  | Ev_squash
+  | Ev_fence of Guard.source
+  | Ev_vp_release
+  | Ev_dload of int  (* physical line key; recorded at the Visibility Point *)
 
 type event = { ev_cycle : int; ev_kind : event_kind; ev_va : int; ev_seq : int }
 
@@ -404,6 +408,9 @@ let event_to_json ev =
   | Ev_vp_release ->
     Printf.sprintf {|{"cycle":%d,"kind":"vp_release","va":%d,"seq":%d}|} ev.ev_cycle
       ev.ev_va ev.ev_seq
+  | Ev_dload line ->
+    Printf.sprintf {|{"cycle":%d,"kind":"dload","line":%d,"va":%d,"seq":%d}|}
+      ev.ev_cycle line ev.ev_va ev.ev_seq
 
 let ret_stack_base = 0x5F00_0000_0000
 
@@ -552,6 +559,9 @@ let resolve_ctrl t pos e =
   let squash target_va restore_stack restore_depth restore_ghr =
     t.ctrs.squashes <- t.ctrs.squashes + 1;
     record_event t Ev_squash ~va:e.va ~seq:e.seq;
+    (match t.guard.Guard.notify_squash with
+    | Some f -> f ~asid:t.asid
+    | None -> ());
     truncate_rob t pos;
     t.dispatch_stack <- restore_stack;
     t.dispatch_depth <- restore_depth;
@@ -572,7 +582,10 @@ let resolve_ctrl t pos e =
     end
     else false
   | Insn.Icall _ ->
-    if e.actual_target_va >= 0 then Btb.update t.btb e.va e.actual_target_va;
+    (* Shadow-BTB schemes defer BTB training to commit: a squashed (transient)
+       indirect call must leave no predictor state behind. *)
+    if e.actual_target_va >= 0 && not t.guard.Guard.shadow_btb then
+      Btb.update t.btb e.va e.actual_target_va;
     let stack' = (e.va + Layout.insn_bytes) :: e.stack_snap in
     let depth' = e.depth_snap + 1 in
     if e.pred_target_va = -1 then begin
@@ -686,7 +699,14 @@ let commit_step t =
           Memsys.data_write t.memsys key
         | Insn.Flush _ ->
           Memsys.flush_line t.memsys (Layout.phys_key ~asid:t.asid e.eff_addr)
-        | Insn.Call _ | Insn.Icall _ ->
+        | Insn.Call _ ->
+          t.commit_stack <- (e.va + Layout.insn_bytes) :: t.commit_stack;
+          t.commit_depth <- t.commit_depth + 1
+        | Insn.Icall _ ->
+          (* Shadow-BTB commit: the predictor learns the indirect target only
+             once the call is architecturally real. *)
+          if t.guard.Guard.shadow_btb && e.actual_target_va >= 0 then
+            Btb.update t.btb e.va e.actual_target_va;
           t.commit_stack <- (e.va + Layout.insn_bytes) :: t.commit_stack;
           t.commit_depth <- t.commit_depth + 1
         | Insn.Ret -> (
@@ -781,7 +801,13 @@ let count_fence t src =
 
 let issue_load_to_memory t e ~speculative =
   let key = Layout.phys_key ~asid:t.asid e.eff_addr in
-  let lat, _hit = Memsys.data_read t.memsys key in
+  let lat =
+    match t.guard.Guard.spec_read with
+    | Some f when speculative -> f ~key ~asid:t.asid
+    | _ ->
+      let lat, _hit = Memsys.data_read t.memsys key in
+      lat
+  in
   e.value <- Mem.load (Memsys.mem t.memsys) key;
   e.done_at <- t.now + lat;
   e.state <- Issued;
@@ -809,6 +835,12 @@ let issue_step t =
       && not speculative
     then begin
       e.vp_done <- true;
+      (* Only architecturally-surviving loads reach here, so the dload trace
+         is the sequential projection of the D-cache access stream. *)
+      if Array.length t.trace_buf > 0 && e.addr_known then
+        record_event t
+          (Ev_dload (Layout.phys_key ~asid:t.asid e.eff_addr / Layout.line_bytes))
+          ~va:e.va ~seq:e.seq;
       match t.guard.Guard.notify_vp with
       | Some f when e.addr_known ->
         f ~insn_va:e.va ~addr:e.eff_addr ~asid:t.asid ~kernel_mode:e.kernel

@@ -161,7 +161,13 @@ val run :
     view-miss event: the guard parked the load because the speculation-view
     lookup failed. *)
 
-type event_kind = Ev_squash | Ev_fence of Guard.source | Ev_vp_release
+type event_kind =
+  | Ev_squash
+  | Ev_fence of Guard.source
+  | Ev_vp_release
+  | Ev_dload of int
+      (** D-cache access by an architecturally-surviving load, recorded at its
+          Visibility Point; the payload is the physical line index. *)
 
 type event = {
   ev_cycle : int;

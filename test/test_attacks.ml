@@ -101,11 +101,11 @@ let test_rsb_blocked_by_defenses () =
 
 let test_run_all_shapes () =
   let v1 = V1.run_all () in
-  check Alcotest.int "v1 schemes" 7 (List.length v1);
+  check Alcotest.int "v1 schemes" 9 (List.length v1);
   Alcotest.(check bool) "exactly one v1 success (UNSAFE)" true
     (List.length (List.filter (fun o -> o.V1.success) v1) = 1);
   let v2 = V2.run_all () in
-  check Alcotest.int "v2 schemes" 8 (List.length v2);
+  check Alcotest.int "v2 schemes" 10 (List.length v2);
   Alcotest.(check bool) "exactly two v2 successes (UNSAFE, DSV-only)" true
     (List.length (List.filter (fun o -> o.V2.success) v2) = 2)
 

@@ -1,0 +1,326 @@
+(* The contract-checker subsystem and the SafeSpec/SpecBox shadow schemes.
+
+   Three layers of evidence:
+   1. Shadow-structure invariants (QCheck): speculative fills never touch the
+      real cache hierarchy, a squash leaves the architectural cache state
+      byte-identical to pre-speculation, and the shadow guards never block an
+      access (speculative or not) — their whole point is isolation without
+      stalls.
+   2. Opt-vs-ref agreement: random programs under SAFESPEC and SPECBOX guards
+      behave identically (architecture AND timing) in the fast [Pipeline] and
+      the frozen seed [Pipeline_ref], and architecturally identically to an
+      unguarded run.
+   3. The checker itself: expected verdicts on known cells, determinism of
+      the rendered matrix across jobs and across a cold/warm cache, and
+      kill+resume convergence. *)
+
+module C = Pv_contracts.Contracts
+module Defense = Perspective.Defense
+module Shadow = Perspective.Shadow
+module Guard = Pv_uarch.Guard
+module Pipeline = Pv_uarch.Pipeline
+module Pipeline_ref = Pv_uarch.Pipeline_ref
+module Memsys = Pv_uarch.Memsys
+module Cache = Pv_uarch.Cache
+module Mem = Pv_isa.Mem
+module Layout = Pv_isa.Layout
+module Supervise = Pv_experiments.Supervise
+module Schemes = Pv_experiments.Schemes
+module Tab = Pv_util.Tab
+module Fault = Pv_util.Fault
+module Rng = Pv_util.Rng
+
+let check = Alcotest.check
+
+(* The same guard Defense.build wires up, but built directly so each test
+   pipeline gets its own shadow over its own memory system. *)
+let shadow_guard mode ms =
+  let sh = Shadow.create ~mode ms in
+  let g =
+    {
+      Guard.name = (match mode with Shadow.Shared -> "safespec" | Shadow.Labeled -> "specbox");
+      check = (fun _ -> Guard.Allow);
+      notify_vp =
+        Some
+          (fun ~insn_va:_ ~addr ~asid ~kernel_mode:_ ->
+            Shadow.promote sh ~key:(Layout.phys_key ~asid addr) ~asid);
+      spec_read = Some (fun ~key ~asid -> Shadow.spec_read sh ~key ~asid);
+      notify_squash = Some (fun ~asid -> Shadow.squash sh ~asid);
+      shadow_btb = true;
+    }
+  in
+  (sh, g)
+
+(* --- shadow-structure invariants (QCheck) ------------------------------ *)
+
+let arb_accesses =
+  (* (line, asid) speculative accesses; small ranges force label collisions
+     and shadow hits. *)
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 1 64)
+        (pair (int_range 0 255) (int_range 1 4)))
+
+let cache_state ms =
+  String.concat "|"
+    [
+      Cache.state_signature (Memsys.l1d ms);
+      Cache.state_signature (Memsys.l2 ms);
+      Cache.state_signature (Memsys.l1i ms);
+    ]
+
+let squash_restores_prop mode =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s: spec fills + full squash leave cache state untouched"
+         (match mode with Shadow.Shared -> "safespec" | Shadow.Labeled -> "specbox"))
+    ~count:100 arb_accesses
+    (fun accesses ->
+      let ms = Memsys.create (Mem.create ()) in
+      (* a little architectural state first, so the signature is non-trivial *)
+      for i = 0 to 7 do
+        ignore (Memsys.data_read ms (Layout.phys_key ~asid:1 (Layout.user_data_base + (64 * i))))
+      done;
+      let before = cache_state ms in
+      let sh = Shadow.create ~mode ms in
+      List.iter
+        (fun (line, asid) ->
+          ignore
+            (Shadow.spec_read sh
+               ~key:(Layout.phys_key ~asid (Layout.user_data_base + (Layout.line_bytes * line)))
+               ~asid))
+        accesses;
+      let untouched_during = cache_state ms = before in
+      List.iter (fun asid -> Shadow.squash sh ~asid) [ 1; 2; 3; 4 ];
+      untouched_during && cache_state ms = before && Shadow.size sh = 0)
+
+let never_blocks_prop =
+  let arb_query =
+    QCheck.make
+      QCheck.Gen.(
+        let* insn_va = int_range 0 100_000 in
+        let* fid = int_range 0 64 in
+        let* addr = int_range 0 1_000_000 in
+        let* asid = int_range 1 8 in
+        let* kernel_mode = bool in
+        let* speculative = bool in
+        let* l1_hit = bool in
+        let* tainted = bool in
+        return
+          { Guard.insn_va; fid; addr; asid; kernel_mode; speculative; l1_hit; tainted })
+  in
+  QCheck.Test.make ~name:"shadow guards never block any access" ~count:200 arb_query
+    (fun q ->
+      List.for_all
+        (fun mode ->
+          let ms = Memsys.create (Mem.create ()) in
+          let _, g = shadow_guard mode ms in
+          g.Guard.check q = Guard.Allow)
+        [ Shadow.Shared; Shadow.Labeled ])
+
+let test_labeled_isolation () =
+  (* SpecBox: a squash by one ASID must not discard another ASID's shadow
+     entries; SafeSpec's shared shadow flushes everything. *)
+  let key asid = Layout.phys_key ~asid Layout.user_data_base in
+  let ms = Memsys.create (Mem.create ()) in
+  let sh = Shadow.create ~mode:Shadow.Labeled ms in
+  ignore (Shadow.spec_read sh ~key:(key 1) ~asid:1);
+  ignore (Shadow.spec_read sh ~key:(key 2) ~asid:2);
+  Shadow.squash sh ~asid:1;
+  check Alcotest.int "labeled squash keeps the other domain" 1 (Shadow.size sh);
+  let ms = Memsys.create (Mem.create ()) in
+  let sh = Shadow.create ~mode:Shadow.Shared ms in
+  ignore (Shadow.spec_read sh ~key:(key 1) ~asid:1);
+  ignore (Shadow.spec_read sh ~key:(key 2) ~asid:2);
+  Shadow.squash sh ~asid:1;
+  check Alcotest.int "shared squash flushes everything" 0 (Shadow.size sh)
+
+(* --- opt vs ref agreement under the shadow guards ---------------------- *)
+
+let run_opt ?guard prog =
+  let stream = ref [] in
+  let ms = Memsys.create (Mem.create ()) in
+  let pipe = Pipeline.create ms prog in
+  Option.iter (fun mode -> Pipeline.set_guard pipe (snd (shadow_guard mode ms))) guard;
+  let hooks =
+    {
+      Pipeline.null_hooks with
+      Pipeline.on_commit = Some (fun fid idx _ -> stream := (fid, idx) :: !stream);
+    }
+  in
+  let r = Pipeline.run ~hooks pipe ~asid:1 ~start:0 in
+  (r.Pipeline.regs, List.rev !stream, r.Pipeline.cycles, r.Pipeline.committed)
+
+let run_ref ?guard prog =
+  let stream = ref [] in
+  let ms = Memsys.create (Mem.create ()) in
+  let pipe = Pipeline_ref.create ms prog in
+  Option.iter (fun mode -> Pipeline_ref.set_guard pipe (snd (shadow_guard mode ms))) guard;
+  let hooks =
+    {
+      Pipeline_ref.null_hooks with
+      Pipeline_ref.on_commit = Some (fun fid idx _ -> stream := (fid, idx) :: !stream);
+    }
+  in
+  let r = Pipeline_ref.run ~hooks pipe ~asid:1 ~start:0 in
+  (r.Pipeline_ref.regs, List.rev !stream, r.Pipeline_ref.cycles, r.Pipeline_ref.committed)
+
+let test_shadow_opt_matches_ref () =
+  for seed = 1 to 25 do
+    let rng = Rng.create (0x5AFE + seed) in
+    let prog = Test_oracle.gen_program rng in
+    let base_regs, base_stream, _, _ = run_opt prog in
+    List.iter
+      (fun mode ->
+        let o_regs, o_stream, o_cycles, o_committed = run_opt ~guard:mode prog in
+        let r_regs, r_stream, r_cycles, r_committed = run_ref ~guard:mode prog in
+        let label fmt = Printf.sprintf ("seed %d: " ^^ fmt) seed in
+        check Alcotest.(array int) (label "shadow regs = unguarded regs") base_regs o_regs;
+        check
+          Alcotest.(list (pair int int))
+          (label "shadow commit stream = unguarded") base_stream o_stream;
+        check Alcotest.(array int) (label "opt regs = ref regs") r_regs o_regs;
+        check
+          Alcotest.(list (pair int int))
+          (label "opt commit stream = ref") r_stream o_stream;
+        check Alcotest.int (label "opt cycles = ref cycles") r_cycles o_cycles;
+        check Alcotest.int (label "opt committed = ref committed") r_committed o_committed)
+      [ Shadow.Shared; Shadow.Labeled ]
+  done
+
+(* --- checker verdicts --------------------------------------------------- *)
+
+let test_known_verdicts () =
+  let r = C.check ~attack:"v1-index" ~scheme:"UNSAFE" () in
+  check Alcotest.string "UNSAFE leaks v1" "CT-SPEC" (C.verdict_name r.C.verdict);
+  Alcotest.(check bool) "diff names the cache channel" true
+    (List.mem "caches" r.C.diffs);
+  let r = C.check ~attack:"v1-index" ~scheme:"FENCE" () in
+  check Alcotest.string "FENCE is ARCH-SEQ" "ARCH-SEQ" (C.verdict_name r.C.verdict);
+  check Alcotest.int "FENCE ran no speculative loads" 0 r.C.obs_lo.C.spec_loads;
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun attack ->
+          let r = C.check ~attack ~scheme () in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s does not leak under %s" scheme attack)
+            false (C.leaks r.C.verdict);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s speculated under %s" scheme attack)
+            true
+            (r.C.obs_lo.C.spec_loads > 0))
+        C.attack_names)
+    [ "SAFESPEC"; "SPECBOX" ]
+
+let test_unknown_labels () =
+  let invalid f = try ignore (f ()); None with Invalid_argument m -> Some m in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  (match invalid (fun () -> C.cells ~attacks:[ "v9" ] ()) with
+  | Some m ->
+    Alcotest.(check bool) "bad attack named" true (contains ~sub:"v9" m);
+    Alcotest.(check bool) "valid attacks listed" true (contains ~sub:"v1-index" m)
+  | None -> Alcotest.fail "unknown attack accepted");
+  (match invalid (fun () -> C.cells ~schemes:[ "SPECTREGUARD" ] ()) with
+  | Some m ->
+    Alcotest.(check bool) "bad scheme named" true (contains ~sub:"SPECTREGUARD" m);
+    Alcotest.(check bool) "valid schemes listed" true (contains ~sub:"SAFESPEC" m)
+  | None -> Alcotest.fail "unknown scheme accepted");
+  match invalid (fun () -> Schemes.find "NOPE") with
+  | Some m ->
+    Alcotest.(check bool) "Schemes.find names the label" true (contains ~sub:"NOPE" m);
+    Alcotest.(check bool) "Schemes.find lists valid labels" true (contains ~sub:"DOM" m)
+  | None -> Alcotest.fail "Schemes.find accepted an unknown label"
+
+(* --- matrix determinism ------------------------------------------------- *)
+
+let sub_attacks = [ "v1-index"; "v2" ]
+
+let sub_schemes = [ "UNSAFE"; "FENCE"; "SAFESPEC" ]
+
+let sub_cells () = C.cells ~attacks:sub_attacks ~schemes:sub_schemes ()
+
+let render sweep =
+  Tab.to_string
+    (C.matrix_table ~attacks:sub_attacks ~schemes:sub_schemes sweep.Supervise.results)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pv_contracts" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let test_matrix_deterministic () =
+  with_temp_dir (fun dir ->
+      let cache = Pv_util.Rescache.open_dir dir in
+      let cold =
+        Supervise.run ~config:{ Supervise.default with jobs = 1; cache = Some cache } (sub_cells ())
+      in
+      check Alcotest.int "cold run executed every cell" 6 cold.Supervise.executed;
+      let warm =
+        Supervise.run ~config:{ Supervise.default with jobs = 4; cache = Some cache } (sub_cells ())
+      in
+      check Alcotest.int "warm run served everything from cache" 6 warm.Supervise.cached;
+      check Alcotest.int "warm run executed nothing" 0 warm.Supervise.executed;
+      check Alcotest.string "cold -j1 and warm -j4 matrices byte-identical"
+        (render cold) (render warm))
+
+let test_fault_then_resume_converges () =
+  let path = Filename.temp_file "pv_contracts" ".journal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let fault =
+        Fault.plan [ { Fault.index = 2; kind = Fault.Crash; first_attempts = Fault.always } ]
+      in
+      let faulted =
+        Supervise.run
+          ~config:{ Supervise.default with jobs = 2; fault; checkpoint = Some path }
+          (sub_cells ())
+      in
+      check Alcotest.int "one cell failed" 1 (Supervise.failed faulted);
+      let resumed =
+        Supervise.run
+          ~config:{ Supervise.default with checkpoint = Some path; resume = true }
+          (sub_cells ())
+      in
+      check Alcotest.int "only the failed cell re-ran" 1 resumed.Supervise.executed;
+      let clean = Supervise.run (sub_cells ()) in
+      check Alcotest.string "resumed matrix bytes = uninterrupted serial run"
+        (render clean) (render resumed))
+
+let suite =
+  [
+    ( "contracts.shadow",
+      [
+        QCheck_alcotest.to_alcotest (squash_restores_prop Shadow.Shared);
+        QCheck_alcotest.to_alcotest (squash_restores_prop Shadow.Labeled);
+        QCheck_alcotest.to_alcotest never_blocks_prop;
+        Alcotest.test_case "labeled vs shared squash isolation" `Quick test_labeled_isolation;
+        Alcotest.test_case "random programs: shadow opt = ref = unguarded arch" `Slow
+          test_shadow_opt_matches_ref;
+      ] );
+    ( "contracts.checker",
+      [
+        Alcotest.test_case "known verdicts" `Slow test_known_verdicts;
+        Alcotest.test_case "unknown labels are friendly errors" `Quick test_unknown_labels;
+        Alcotest.test_case "cold -j1 = warm -j4 matrix bytes" `Slow test_matrix_deterministic;
+        Alcotest.test_case "kill, checkpoint, resume, converge" `Slow
+          test_fault_then_resume_converges;
+      ] );
+  ]

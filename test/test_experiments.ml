@@ -102,7 +102,7 @@ let test_perf_throughput_normalization () =
 
 let test_security_pocs () =
   let pocs = Security.run_pocs () in
-  check Alcotest.int "22 verdicts" 22 (List.length pocs);
+  check Alcotest.int "28 verdicts" 28 (List.length pocs);
   let leaks = List.filter (fun p -> p.Security.correct) pocs in
   (* Exactly: v1 UNSAFE, v2 UNSAFE, v2 DSV-only, rsb UNSAFE. *)
   check Alcotest.int "four leaks" 4 (List.length leaks);
@@ -154,7 +154,7 @@ let test_view_cache_entries_knob () =
 
 let test_schemes_registry () =
   check Alcotest.int "standard" 5 (List.length Schemes.standard);
-  check Alcotest.int "hardware" 2 (List.length Schemes.hardware);
+  check Alcotest.int "hardware" 4 (List.length Schemes.hardware);
   check Alcotest.int "spot" 2 (List.length Schemes.spot);
   Alcotest.(check bool) "find" true ((Schemes.find "DOM").Schemes.label = "DOM")
 

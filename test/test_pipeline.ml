@@ -225,6 +225,9 @@ let test_guard_blocks_transient_fill () =
       check =
         (fun q -> if q.Guard.speculative then Guard.Block Guard.Baseline else Guard.Allow);
       notify_vp = None;
+      spec_read = None;
+      notify_squash = None;
+      shadow_btb = false;
     };
   Mem.store mem (Layout.phys_key ~asid:1 Layout.user_data_base) 0;
   ignore (Pipeline.run pipe ~asid:1 ~start:0);
@@ -263,6 +266,9 @@ let test_fenced_load_still_commits () =
       check =
         (fun q -> if q.Guard.speculative then Guard.Block Guard.Baseline else Guard.Allow);
       notify_vp = None;
+      spec_read = None;
+      notify_squash = None;
+      shadow_btb = false;
     };
   let r = Pipeline.run pipe ~asid:1 ~start:0 in
   check Alcotest.int "value loaded" 1234 r.Pipeline.regs.(4)
@@ -304,6 +310,9 @@ let test_fence_slower_than_unsafe () =
         check =
           (fun q -> if q.Guard.speculative then Guard.Block Guard.Baseline else Guard.Allow);
         notify_vp = None;
+        spec_read = None;
+        notify_squash = None;
+        shadow_btb = false;
       }
   in
   Alcotest.(check bool)

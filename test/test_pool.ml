@@ -280,7 +280,7 @@ let test_pocs_deterministic () =
   let serial = Security.run_pocs ~jobs:1 () in
   let parallel = Security.run_pocs ~jobs:3 () in
   Alcotest.(check bool) "verdict lists identical" true (serial = parallel);
-  check Alcotest.int "22 verdicts" 22 (List.length parallel)
+  check Alcotest.int "28 verdicts" 28 (List.length parallel)
 
 let suite =
   [
