@@ -327,7 +327,7 @@ let cycles_section () =
       let prev =
         Benchjson.latest_in
           ~dir:(Filename.dirname path)
-          ~excluding:(Filename.basename path) ()
+          ~excluding:(Filename.basename path) ~label:"cycles" ()
       in
       Benchjson.write ~path entry;
       Printf.printf "\nBENCH: wrote %s (%.2f Mcycles/s aggregate)\n" path
@@ -348,6 +348,165 @@ let cycles_section () =
           if !bench_guard && delta < -20.0 then begin
             Printf.eprintf
               "BENCH: simulated-cycles/sec regressed %.1f%% (> 20%% guard) vs %s\n%!"
+              (-.delta) prev_path;
+            exit 3
+          end))
+
+(* ------------------------------------------------------------------ *)
+(* Pool scheduler microbenchmark: the BENCH_pool_<date>.json trajectory *)
+(* ------------------------------------------------------------------ *)
+
+(* Work-stealing vs the frozen shared-queue pool on two adversarial shapes:
+   10^4 tiny uniform cells (dequeue-rate bound — the PR 9 contract-matrix
+   shape, where the shared queue serializes every pop on one lock) and
+   4 huge + 96 tiny cells (skew bound — finishing the tiny tail early wins
+   nothing unless someone steals the huge cells' neighbours).  Cells are
+   pure LCG spins, so both pools compute identical results and the
+   measurement isolates scheduling cost.  Everything is PINNED (shapes,
+   iteration counts, jobs=8) — same trajectory discipline as [cycles]. *)
+let pool_jobs = 8
+
+let pool_reps = 25
+
+let pool_tiny_iters = 20
+
+let pool_huge_iters = 5_000_000
+
+let spin_cell (iters, seed) =
+  let r = ref seed in
+  for _ = 1 to iters do
+    r := (!r * 2862933555777941757) + 3037000493
+  done;
+  !r
+
+let pool_shapes =
+  [
+    ("tiny-10k", List.init 10_000 (fun i -> (pool_tiny_iters, i)));
+    ( "mixed-4huge-96tiny",
+      List.init 100 (fun i ->
+          ((if i < 4 then pool_huge_iters else pool_tiny_iters), i)) );
+  ]
+
+let pool_section () =
+  section "pool" "Pool scheduler microbenchmark (work stealing vs shared queue)"
+    (fun () ->
+      let date = today () in
+      let measured =
+        List.map
+          (fun (shape, items) ->
+            let n = List.length items in
+            (* Interleave the two schedulers rep by rep and keep each one's
+               best wall time: machine-load noise only ever ADDS time, so
+               best-of-N at alternating instants is far more stable than
+               timing one scheduler's whole block after the other's. *)
+            let ref_out = ref [] and ws_out = ref [] in
+            let ref_wall = ref infinity and ws_wall = ref infinity in
+            let ctr =
+              Pv_util.Pool_ref.with_pool ~jobs:pool_jobs (fun pref ->
+                  Pv_util.Pool.with_pool ~jobs:pool_jobs (fun pws ->
+                      for _ = 1 to pool_reps do
+                        let t0 = Unix.gettimeofday () in
+                        ref_out := Pv_util.Pool_ref.map pref spin_cell items;
+                        ref_wall := Float.min !ref_wall (Unix.gettimeofday () -. t0);
+                        let t0 = Unix.gettimeofday () in
+                        ws_out := Pv_util.Pool.map pws spin_cell items;
+                        ws_wall := Float.min !ws_wall (Unix.gettimeofday () -. t0)
+                      done;
+                      Pv_util.Pool.counters pws))
+            in
+            if !ref_out <> !ws_out then begin
+              Printf.eprintf
+                "POOL: %s: work-stealing results differ from shared-queue\n%!"
+                shape;
+              exit 3
+            end;
+            let cell scheme wall_s =
+              (* For this trajectory a "cycle" is one processed cell, so
+                 cps reads as cells per second (best of [pool_reps] reps). *)
+              Benchjson.cell ~workload:shape ~scheme ~sim_cycles:n ~committed:n
+                ~wall_s
+            in
+            (shape, ctr, cell "shared-queue" !ref_wall, cell "work-stealing" !ws_wall))
+          pool_shapes
+      in
+      let cells =
+        List.concat_map (fun (_, _, r, w) -> [ r; w ]) measured
+      in
+      let entry =
+        Benchjson.make ~date ~label:"pool" ~scale:1.0 ~jobs:pool_jobs cells
+      in
+      let tab =
+        Tab.create
+          ~title:
+            (Printf.sprintf "Pool scheduler throughput (pinned shapes, -j %d)"
+               pool_jobs)
+          ~header:
+            [
+              ("Shape", Tab.Left); ("Scheduler", Tab.Left); ("Cells", Tab.Right);
+              ("Wall s", Tab.Right); ("cells/s", Tab.Right);
+            ]
+      in
+      List.iter
+        (fun (c : Benchjson.cell) ->
+          Tab.row tab
+            [
+              c.Benchjson.workload; c.Benchjson.scheme;
+              string_of_int c.Benchjson.sim_cycles;
+              Printf.sprintf "%.3f" c.Benchjson.wall_s;
+              Printf.sprintf "%.0f" c.Benchjson.cps;
+            ])
+        entry.Benchjson.cells;
+      Tab.caption tab "Schedulers compute identical results; higher cells/s is better.";
+      Tab.print tab;
+      List.iter
+        (fun (shape, (ctr : Pv_util.Pool.counters), rf, ws) ->
+          Printf.printf
+            "POOL: %s: work-stealing %.0f cells/s vs shared-queue %.0f = %.2fx\n"
+            shape ws.Benchjson.cps rf.Benchjson.cps
+            (if rf.Benchjson.cps > 0.0 then ws.Benchjson.cps /. rf.Benchjson.cps
+             else 0.0);
+          Printf.printf
+            "POOL: %s: scheduler counters: %d local pops, %d steals, %d failed \
+             steals, %d parks, %d unparks\n"
+            shape ctr.Pv_util.Pool.local_pops ctr.Pv_util.Pool.steals
+            ctr.Pv_util.Pool.failed_steals ctr.Pv_util.Pool.parks
+            ctr.Pv_util.Pool.unparks)
+        measured;
+      (match Benchjson.validate entry with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "BENCH: refusing to emit invalid pool entry: %s\n%!" msg;
+        exit 3);
+      let path =
+        (* --bench-out redirects this section's file only when the pool
+           section was selected explicitly; a full run keeps the two
+           trajectories in their own files. *)
+        match (!bench_out, !only) with
+        | Some p, Some "pool" -> p
+        | _ -> Benchjson.filename_for ~label:"pool" ~date
+      in
+      let prev =
+        Benchjson.latest_in
+          ~dir:(Filename.dirname path)
+          ~excluding:(Filename.basename path) ~label:"pool" ()
+      in
+      Benchjson.write ~path entry;
+      Printf.printf "\nBENCH: wrote %s (%.0f cells/s aggregate)\n" path
+        entry.Benchjson.agg_cps;
+      match prev with
+      | None -> Printf.printf "BENCH: no previous pool trajectory entry; guard skipped\n"
+      | Some prev_path -> (
+        match Benchjson.load ~path:prev_path with
+        | Error msg ->
+          Printf.eprintf "BENCH: previous entry %s unreadable (%s); guard skipped\n%!"
+            prev_path msg
+        | Ok prev ->
+          let delta = Benchjson.delta_pct ~prev ~cur:entry in
+          Printf.printf "BENCH: %+.1f%% cells/sec vs %s (%.0f -> %.0f cells/s)\n"
+            delta prev_path prev.Benchjson.agg_cps entry.Benchjson.agg_cps;
+          if !bench_guard && delta < -20.0 then begin
+            Printf.eprintf
+              "BENCH: pool cells/sec regressed %.1f%% (> 20%% guard) vs %s\n%!"
               (-.delta) prev_path;
             exit 3
           end))
@@ -502,7 +661,7 @@ let () =
         \       [--bench-out FILE.json] [--bench-guard]\n\
          labels: table-4.1 table-7.1 table-8.1 table-8.2 table-9.1 table-10.1\n\
         \        fig-9.1 fig-9.2 fig-9.3 fig-9.3-tail poc-attacks contracts comparisons\n\
-        \        sensitivity cycles\n"
+        \        sensitivity cycles pool\n"
         arg;
       exit 2
   in
@@ -516,5 +675,6 @@ let () =
   perf_sections ();
   service_section ();
   cycles_section ();
+  pool_section ();
   if !run_bechamel && !only = None then bechamel_suite ();
   Printf.printf "\nDone.\n"

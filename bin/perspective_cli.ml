@@ -75,6 +75,7 @@ type sup = {
   cache_stats : bool;
   workers : int;
   hosts : string option;
+  pool_stats : bool;
 }
 
 let fault_conv =
@@ -230,9 +231,20 @@ let hosts_arg =
            reconnect budget; lost hosts are named on stderr and the sweep \
            completes on the remaining workers.")
 
+let pool_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "pool-stats" ]
+        ~doc:
+          "Print the in-process pool's work-stealing scheduler counters (local \
+           pops, steals, failed steals, parks, unparks) to stderr after each \
+           sweep.  Diagnostics only: the counts depend on runtime \
+           interleaving, so they never appear in tables or $(b,--metrics) \
+           output.")
+
 let sup_term =
   let mk retries fault max_cycles checkpoint resume cache_dir no_cache cache_stats workers
-      hosts =
+      hosts pool_stats =
     {
       retries;
       fault;
@@ -244,11 +256,13 @@ let sup_term =
       cache_stats;
       workers;
       hosts;
+      pool_stats;
     }
   in
   Cmdliner.Term.(
     const mk $ retries_arg $ fault_arg $ max_cycles_arg $ checkpoint_arg $ resume_arg
-    $ cache_arg $ no_cache_arg $ cache_stats_arg $ workers_arg $ hosts_arg)
+    $ cache_arg $ no_cache_arg $ cache_stats_arg $ workers_arg $ hosts_arg
+    $ pool_stats_arg)
 
 (* Validate the supervision flags, build the config, run [f] with it, and
    print the cache counters afterwards if asked.  Validation failures are
@@ -322,6 +336,7 @@ let with_sup_config sup ~jobs f =
           cache;
           workers = sup.workers;
           hosts;
+          pool_stats = sup.pool_stats;
         }
       in
       let code = f config in

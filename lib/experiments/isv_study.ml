@@ -232,8 +232,11 @@ let speedup_table_rows rows =
           [ r.workload; Tab.fl r.full_rate; Tab.fl r.bounded_rate; Tab.times r.speedup ]
       | None -> Tab.row tab [ Filename.basename key; "FAILED"; "-"; "-" ])
     rows;
-  (if present <> [] then
-     Tab.row tab [ "average"; ""; ""; Tab.times (average_speedup present) ]);
+  (* An all-failed sweep has no speedup series: say so, don't omit the row
+     (and never average a plausible-looking 0). *)
+  (match Stats.mean_opt (List.map (fun r -> r.speedup) present) with
+  | Some avg -> Tab.row tab [ "average"; ""; ""; Tab.times avg ]
+  | None -> Tab.row tab [ "average"; ""; ""; "n/a" ]);
   Tab.caption tab "Paper: 1.14-2.23x across workloads, 1.57x on average.";
   tab
 

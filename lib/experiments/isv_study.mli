@@ -63,6 +63,8 @@ val speedup_rows : ?seed:int -> ?jobs:int -> t -> speedup_row list
 
 val speedup_table : ?seed:int -> ?jobs:int -> t -> Pv_util.Tab.t
 val average_speedup : speedup_row list -> float
+(** Arithmetic mean of the rows' speedups.  Raises [Invalid_argument] on an
+    empty row list (the table renders that case as ["n/a"]). *)
 
 val speedup_cells : ?seed:int -> t -> speedup_row Supervise.cell list
 (** Figure 9.1 as supervised cells (keys ["speedup/<workload>"]); the

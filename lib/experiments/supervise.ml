@@ -39,6 +39,7 @@ type config = {
   workers : int;
   respawns : int;
   hosts : (string * int) list;
+  pool_stats : bool;
 }
 
 let default =
@@ -54,6 +55,7 @@ let default =
     workers = 1;
     respawns = 8;
     hosts = [];
+    pool_stats = false;
   }
 
 (* --- multi-process plumbing -------------------------------------------- *)
@@ -375,10 +377,24 @@ let run_coordinator ~config ~ordinal (cells : 'a cell list) =
           end
           else
             Pool.with_pool ~jobs:config.jobs (fun p ->
-                Pool.map_results ~retries:config.retries ~fault:config.fault
-                  ~on_outcome p
-                  (fun (i, c) -> c.run ~fuel:(fuel_for config i))
-                  (List.mapi (fun i c -> (i, c)) runnable))
+                let outcomes =
+                  Pool.map_results ~retries:config.retries ~fault:config.fault
+                    ~on_outcome p
+                    (fun (i, c) -> c.run ~fuel:(fuel_for config i))
+                    (List.mapi (fun i c -> (i, c)) runnable)
+                in
+                (* Scheduler telemetry is stderr-only and opt-in: steal and
+                   park counts depend on runtime interleaving, so they must
+                   never reach the byte-identical tables or --metrics. *)
+                if config.pool_stats then begin
+                  let c = Pool.counters p in
+                  Printf.eprintf
+                    "supervise: pool stats (-j %d): %d local pops, %d steals, \
+                     %d failed steals, %d parks, %d unparks\n%!"
+                    config.jobs c.Pool.local_pops c.Pool.steals
+                    c.Pool.failed_steals c.Pool.parks c.Pool.unparks
+                end;
+                outcomes)
         in
         (* Cache hits and dedup aliases still belong in the checkpoint: a
            later --resume must serve them without needing the cache. *)

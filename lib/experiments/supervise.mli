@@ -76,11 +76,17 @@ type config = {
           with a bounded per-host reconnect budget; abandoned hosts are
           reported on stderr ([supervise: host H:P lost: ...]) while the
           sweep completes on the remaining workers. *)
+  pool_stats : bool;
+      (** print the in-process pool's scheduler counters (local pops,
+          steals, failed steals, parks, unparks) to stderr after the sweep.
+          Stderr-only by design: the counts depend on runtime interleaving,
+          so they are excluded from every byte-identity artifact. *)
 }
 
 val default : config
 (** [jobs = 1], [retries = 0], no fault, no cycle override, no checkpoint,
-    no cache, [workers = 1], [respawns = 8], [hosts = []]. *)
+    no cache, [workers = 1], [respawns = 8], [hosts = []],
+    [pool_stats = false]. *)
 
 val run : ?config:config -> 'a cell list -> 'a sweep
 (** Execute the sweep under supervision.  Cell keys must be unique.  With a

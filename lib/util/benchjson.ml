@@ -376,23 +376,37 @@ let validate t =
 
 let filename ~date = Printf.sprintf "BENCH_%s.json" date
 
+(* Secondary trajectories (label <> "cycles") carry the label in the
+   basename so the families never collide on a date. *)
+let filename_for ~label ~date =
+  if label = "cycles" then filename ~date
+  else Printf.sprintf "BENCH_%s_%s.json" label date
+
 let is_bench_file name =
   String.length name > String.length "BENCH_.json"
   && String.sub name 0 6 = "BENCH_"
   && Filename.check_suffix name ".json"
 
-let latest_in ~dir ?excluding () =
+let latest_in ~dir ?excluding ?label () =
   match Sys.readdir dir with
   | entries ->
-    let best = ref None in
-    Array.iter
-      (fun name ->
-        if is_bench_file name && Some name <> excluding then
-          match !best with
-          | Some b when String.compare b name >= 0 -> ()
-          | _ -> best := Some name)
-      entries;
-    Option.map (Filename.concat dir) !best
+    let candidates =
+      Array.to_list entries
+      |> List.filter (fun name -> is_bench_file name && Some name <> excluding)
+      (* Newest first.  Within one label family the basenames share a prefix,
+         so lexicographic order is date order; across families the [label]
+         filter below decides, never the name comparison. *)
+      |> List.sort (fun a b -> String.compare b a)
+    in
+    let wanted name =
+      match label with
+      | None -> true
+      | Some l -> (
+        match load ~path:(Filename.concat dir name) with
+        | Ok t -> t.label = l
+        | Error _ -> false)
+    in
+    Option.map (Filename.concat dir) (List.find_opt wanted candidates)
   | exception Sys_error _ -> None
 
 let delta_pct ~prev ~cur =

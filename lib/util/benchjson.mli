@@ -62,16 +62,24 @@ val validate : t -> (unit, string) result
     tolerance on aggregates). *)
 
 val filename : date:string -> string
-(** ["BENCH_<date>.json"]. *)
+(** ["BENCH_<date>.json"] — the primary ("cycles") trajectory. *)
+
+val filename_for : label:string -> date:string -> string
+(** {!filename} for label ["cycles"]; ["BENCH_<label>_<date>.json"] for any
+    other label, so secondary trajectories (e.g. "pool") never collide with
+    the primary one on a date. *)
 
 val is_bench_file : string -> bool
 (** Recognizes basenames of trajectory entries ([BENCH_*.json]). *)
 
-val latest_in : dir:string -> ?excluding:string -> unit -> string option
+val latest_in : dir:string -> ?excluding:string -> ?label:string -> unit -> string option
 (** Path of the newest trajectory entry in [dir] (dates sort
-    lexicographically), skipping the basename [excluding] — pass the file
-    being emitted to find the {e previous} entry.  [None] when the
-    trajectory is empty. *)
+    lexicographically within a label family), skipping the basename
+    [excluding] — pass the file being emitted to find the {e previous}
+    entry.  [label] restricts the search to entries whose parsed [label]
+    field matches (unparsable files are skipped); without it every
+    trajectory file competes, which is only safe while one label exists.
+    [None] when the trajectory is empty. *)
 
 val delta_pct : prev:t -> cur:t -> float
 (** Aggregate cycles/sec change in percent, positive = faster than [prev]. *)

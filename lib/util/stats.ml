@@ -1,6 +1,12 @@
+(* An empty series has no mean; returning 0.0 here used to render as a
+   plausible table cell (same silent-poisoning family as the geomean and
+   zero-baseline guards).  Callers with legitimately-empty series use
+   [mean_opt] and print "n/a". *)
 let mean = function
-  | [] -> 0.0
+  | [] -> invalid_arg "Stats.mean: empty list"
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_opt = function [] -> None | xs -> Some (mean xs)
 
 let geomean = function
   | [] -> 0.0
@@ -15,7 +21,8 @@ let geomean = function
 
 let stddev xs =
   match xs with
-  | [] | [ _ ] -> 0.0
+  | [] -> invalid_arg "Stats.stddev: empty list"
+  | [ _ ] -> 0.0
   | _ ->
     let m = mean xs in
     let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in

@@ -1,7 +1,14 @@
 (** Small statistics helpers used by the experiment harnesses. *)
 
 val mean : float list -> float
-(** Arithmetic mean; 0 for the empty list. *)
+(** Arithmetic mean.  Raises [Invalid_argument] on the empty list — it used
+    to return a silent [0.], which renders as a plausible table cell (same
+    policy as {!percent_overhead} and the {!geomean} input guard).  Use
+    {!mean_opt} where an empty series is legitimate. *)
+
+val mean_opt : float list -> float option
+(** {!mean} with the empty sample degrading to [None] instead of an
+    exception, mirroring {!percentile_opt}; render it as ["n/a"]. *)
 
 val geomean : float list -> float
 (** Geometric mean of positive values; 0 for the empty list.  Raises
@@ -10,7 +17,10 @@ val geomean : float list -> float
     poisoning {!percent_overhead} refuses for a zero baseline. *)
 
 val stddev : float list -> float
-(** Population standard deviation; 0 for lists shorter than 2. *)
+(** Population standard deviation; 0 for a singleton.  Raises
+    [Invalid_argument] on the empty list (a sample with no elements has no
+    deviation, and the old silent [0.] was indistinguishable from a
+    genuinely constant series). *)
 
 val min_max : float list -> float * float
 (** Smallest and largest element.  Raises [Invalid_argument] on empty input. *)

@@ -69,17 +69,43 @@ let read_line_within fd ~timeout =
 
 (* --- host specs --------------------------------------------------------- *)
 
+(* HOST:PORT with RFC 3986-style bracketing for IPv6 literals.  The old
+   parser split on the *last* colon, so "[::1]:9000" died with a misleading
+   "bad port" and a bare "::1:9000" silently parsed as host "::1" port 9000
+   — plausible but almost certainly not what was meant.  Now "[addr]:port"
+   is the one way to spell an IPv6 endpoint, and an unbracketed multi-colon
+   spec is rejected with a hint instead of guessed at. *)
 let parse_hostspec spec =
-  match String.rindex_opt spec ':' with
-  | None -> Error (Printf.sprintf "bad host spec %S (expected HOST:PORT)" spec)
-  | Some i -> (
-    let host = String.sub spec 0 i in
-    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+  let parse_port host port =
     match int_of_string_opt port with
     | Some p when p >= 0 && p <= 65535 ->
       if host = "" then Error (Printf.sprintf "bad host spec %S (empty host)" spec)
       else Ok (host, p)
-    | _ -> Error (Printf.sprintf "bad host spec %S (bad port %S)" spec port))
+    | _ -> Error (Printf.sprintf "bad host spec %S (bad port %S)" spec port)
+  in
+  if String.length spec > 0 && spec.[0] = '[' then
+    match String.index_opt spec ']' with
+    | None ->
+      Error (Printf.sprintf "bad host spec %S (missing ']' after '[')" spec)
+    | Some close ->
+      let host = String.sub spec 1 (close - 1) in
+      let rest = String.sub spec (close + 1) (String.length spec - close - 1) in
+      if String.length rest >= 1 && rest.[0] = ':' then
+        parse_port host (String.sub rest 1 (String.length rest - 1))
+      else
+        Error
+          (Printf.sprintf "bad host spec %S (expected [HOST]:PORT after ']')" spec)
+  else
+    match String.index_opt spec ':' with
+    | None -> Error (Printf.sprintf "bad host spec %S (expected HOST:PORT)" spec)
+    | Some i ->
+      if String.rindex spec ':' <> i then
+        Error
+          (Printf.sprintf
+             "bad host spec %S (IPv6 requires [host]:port)" spec)
+      else
+        parse_port (String.sub spec 0 i)
+          (String.sub spec (i + 1) (String.length spec - i - 1))
 
 let parse_hostspecs s =
   let items =
@@ -107,7 +133,13 @@ let listen_on ~host ~port =
   match resolve host with
   | None -> Error (Printf.sprintf "cannot resolve host %S" host)
   | Some addr -> (
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (* Socket family from the resolved address, so "[::1]:port" listens on
+       an IPv6 socket instead of failing EAFNOSUPPORT on PF_INET. *)
+    let fd =
+      Unix.socket
+        (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port)))
+        Unix.SOCK_STREAM 0
+    in
     try
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (addr, port));
@@ -126,7 +158,11 @@ let connect ~host ~port ~timeout =
   match resolve host with
   | None -> Error (Printf.sprintf "cannot resolve host %S" host)
   | Some addr -> (
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let fd =
+      Unix.socket
+        (Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port)))
+        Unix.SOCK_STREAM 0
+    in
     let fail fn err =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))

@@ -48,14 +48,19 @@ val read_line_within : Unix.file_descr -> timeout:float -> string option
     NOT use this — it keeps its own select-driven per-worker buffers. *)
 
 val parse_hostspec : string -> (string * int, string) result
-(** ["host:port"] -> [(host, port)], with a one-line diagnostic on
-    malformed input. *)
+(** ["host:port"] or ["[v6addr]:port"] -> [(host, port)], with a one-line
+    diagnostic on malformed input.  An unbracketed spec containing more
+    than one colon is rejected ("IPv6 requires [host]:port") rather than
+    guessed at — the old last-colon split turned ["[::1]:9000"] into a
+    misleading bad-port error and silently read ["::1:9000"] as host
+    ["::1"]. *)
 
 val parse_hostspecs : string -> ((string * int) list, string) result
 (** Comma-separated list of host specs; empty items are skipped. *)
 
 val listen_on : host:string -> port:int -> (Unix.file_descr * int, string) result
-(** Bind + listen on [host:port] (SO_REUSEADDR).  Returns the listening
+(** Bind + listen on [host:port] (SO_REUSEADDR).  The socket family follows
+    the resolved address, so IPv6 literals work.  Returns the listening
     descriptor and the actual port — pass port [0] to let the kernel pick
     one (tests, CI). *)
 

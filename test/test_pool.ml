@@ -215,6 +215,80 @@ let test_shutdown_drains_pending () =
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
       Pool.submit p (fun () -> ()))
 
+let test_fatal_exception_escapes () =
+  (* Regression: the worker's catch-all used to swallow runtime-fatal
+     exceptions ([Out_of_memory], [Stack_overflow]) exactly like a job's
+     ordinary failure, so a pool could silently lose a domain to resource
+     exhaustion.  A fatal raise must now surface to the caller — from
+     [shutdown]'s drain on a size-1 pool, and via [Domain.join] when a
+     worker domain died of it. *)
+  let p = Pool.create ~jobs:1 in
+  Pool.submit p (fun () -> raise Stack_overflow);
+  (match Pool.shutdown p with
+  | () -> Alcotest.fail "fatal exception was swallowed by the drain"
+  | exception Stack_overflow -> ());
+  let p = Pool.create ~jobs:4 in
+  Pool.submit p (fun () -> raise Out_of_memory);
+  (match Pool.shutdown p with
+  | () -> Alcotest.fail "fatal exception was swallowed by a worker"
+  | exception Out_of_memory -> ());
+  (* Ordinary failures still leave every domain alive (the warn-once
+     policy): a fresh pool mixing failing and clean jobs drains fully. *)
+  let ran = Atomic.make 0 in
+  Pool.with_pool ~jobs:2 (fun p ->
+      for i = 1 to 20 do
+        Pool.submit p (fun () ->
+            if i mod 2 = 0 then failwith "ordinary" else Atomic.incr ran)
+      done);
+  check Alcotest.int "clean jobs all ran" 10 (Atomic.get ran)
+
+let test_scheduler_counters () =
+  (* [local_pops + steals] counts exactly the jobs taken off the deques:
+     one per [submit] at quiescence; parks and unparks pair up once every
+     worker has been joined. *)
+  let p = Pool.create ~jobs:4 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Pool.submit p (fun () -> Atomic.incr hits)
+  done;
+  Pool.shutdown p;
+  let c = Pool.counters p in
+  check Alcotest.int "all jobs ran" 50 (Atomic.get hits);
+  check Alcotest.int "local_pops + steals = jobs taken" 50
+    (c.Pool.local_pops + c.Pool.steals);
+  check Alcotest.bool "failed steals non-negative" true (c.Pool.failed_steals >= 0);
+  check Alcotest.int "parks match unparks after join" c.Pool.parks c.Pool.unparks;
+  (* The counters export is a plain metrics write, not a registry the
+     byte-identity contract covers. *)
+  let reg = Pv_util.Metrics.create () in
+  Pool.observe_metrics p reg;
+  let snap = Pv_util.Metrics.snapshot reg in
+  check Alcotest.bool "export carries the steal counter" true
+    (Pv_util.Metrics.find snap "pool.steals" <> None)
+
+let test_matches_reference_pool () =
+  (* The frozen shared-queue pool is the semantic oracle: same results on
+     a clean batch, same first failure on a dirty one, at every size. *)
+  let xs = List.init 257 (fun i -> i) in
+  let f i = (i * 7919) lxor (i lsl 3) in
+  List.iter
+    (fun jobs ->
+      let ws = Pool.run ~jobs f xs in
+      let rf = Pv_util.Pool_ref.with_pool ~jobs (fun p -> Pv_util.Pool_ref.map p f xs) in
+      check Alcotest.(list int) (Printf.sprintf "clean batch at -j %d" jobs) rf ws)
+    [ 1; 2; 4; 8 ];
+  let g i = if i mod 50 = 37 then raise (Boom i) else i in
+  List.iter
+    (fun jobs ->
+      let first p_run = match p_run () with _ -> None | exception Boom i -> Some i in
+      let ws = first (fun () -> Pool.run ~jobs g xs) in
+      let rf =
+        first (fun () ->
+            Pv_util.Pool_ref.with_pool ~jobs (fun p -> Pv_util.Pool_ref.map p g xs))
+      in
+      check Alcotest.(option int) (Printf.sprintf "first failure at -j %d" jobs) rf ws)
+    [ 1; 2; 4; 8 ]
+
 (* --- determinism of the experiment layer ------------------------------ *)
 
 (* Structural identity of run records; counters are all-int records so
@@ -306,6 +380,9 @@ let suite =
         Alcotest.test_case "on_outcome hook" `Quick test_on_outcome_hook;
         Alcotest.test_case "submit crash-proof" `Quick test_submit_crash_proof;
         Alcotest.test_case "shutdown drains pending" `Quick test_shutdown_drains_pending;
+        Alcotest.test_case "fatal exceptions escape" `Quick test_fatal_exception_escapes;
+        Alcotest.test_case "scheduler counters" `Quick test_scheduler_counters;
+        Alcotest.test_case "matches reference pool" `Quick test_matches_reference_pool;
       ] );
     ( "pool.determinism",
       [

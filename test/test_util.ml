@@ -6,6 +6,7 @@ module Stats = Pv_util.Stats
 module Bitset = Pv_util.Bitset
 module Tab = Pv_util.Tab
 module Metrics = Pv_util.Metrics
+module Transport = Pv_util.Transport
 
 let check = Alcotest.check
 
@@ -139,7 +140,19 @@ let test_shuffle_permutation () =
 
 let test_stats_mean () =
   check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
-  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.mean [])
+  (* Regression: empty input used to return a silent 0.0, which flowed
+     into tables as a fake measurement. *)
+  Alcotest.check_raises "empty mean raises"
+    (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+let test_stats_mean_opt () =
+  (match Stats.mean_opt [] with
+  | None -> ()
+  | Some v -> Alcotest.failf "mean_opt [] = Some %f, expected None" v);
+  match Stats.mean_opt [ 1.0; 3.0 ] with
+  | Some v -> check (Alcotest.float 1e-9) "mean_opt" 2.0 v
+  | None -> Alcotest.fail "mean_opt [1;3] = None"
 
 let test_stats_geomean () =
   check (Alcotest.float 1e-9) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
@@ -155,7 +168,11 @@ let test_geomean_rejects () =
 
 let test_stats_stddev () =
   check (Alcotest.float 1e-9) "constant stddev" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
-  check (Alcotest.float 1e-6) "known stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+  check (Alcotest.float 1e-6) "known stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
+  check (Alcotest.float 1e-9) "singleton stddev" 0.0 (Stats.stddev [ 42.0 ]);
+  Alcotest.check_raises "empty stddev raises"
+    (Invalid_argument "Stats.stddev: empty list") (fun () ->
+      ignore (Stats.stddev []))
 
 let test_stats_min_max () =
   let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
@@ -598,6 +615,60 @@ let test_metrics_snapshot_json_pinned () =
     expected
     (Metrics.snapshot_to_json ~indent:2 (Metrics.snapshot r))
 
+(* KAT-style host-spec parses.  The bracketed-IPv6 cases are regressions:
+   the old last-colon split read "[::1]:9000" as host "[" / bad port and
+   "::1:9000" as host "::1" port 9000 without ever saying IPv6 needs
+   brackets. *)
+let test_transport_hostspec_ok () =
+  let ok spec host port =
+    match Transport.parse_hostspec spec with
+    | Ok (h, p) ->
+      check Alcotest.string (spec ^ " host") host h;
+      check Alcotest.int (spec ^ " port") port p
+    | Error e -> Alcotest.failf "parse_hostspec %S = Error %s" spec e
+  in
+  ok "localhost:9000" "localhost" 9000;
+  ok "10.1.2.3:80" "10.1.2.3" 80;
+  ok "[::1]:9000" "::1" 9000;
+  ok "[fe80::2%eth0]:7777" "fe80::2%eth0" 7777;
+  ok "[2001:db8::1]:65535" "2001:db8::1" 65535
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_transport_hostspec_errors () =
+  let err spec needle =
+    match Transport.parse_hostspec spec with
+    | Ok (h, p) -> Alcotest.failf "parse_hostspec %S = Ok (%s, %d)" spec h p
+    | Error e ->
+      if not (contains_sub e needle) then
+        Alcotest.failf "parse_hostspec %S error %S lacks %S" spec e needle
+  in
+  err "::1:9000" "IPv6 requires [host]:port";
+  err "a:b:c" "IPv6 requires [host]:port";
+  err "host" "expected HOST:PORT";
+  err ":9000" "empty host";
+  err "[]:9000" "empty host";
+  err "[::1]" "expected [HOST]:PORT after ']'";
+  err "[::1]x:1" "expected [HOST]:PORT after ']'";
+  err "[::1" "missing ']'";
+  err "host:" "bad port";
+  err "host:65536" "bad port";
+  err "host:x" "bad port";
+  err "[::1]:x" "bad port"
+
+let test_transport_hostspecs_list () =
+  (match Transport.parse_hostspecs "a:1,,[::1]:2," with
+  | Ok l ->
+    Alcotest.(check (list (pair string int)))
+      "list" [ ("a", 1); ("::1", 2) ] l
+  | Error e -> Alcotest.failf "parse_hostspecs = Error %s" e);
+  match Transport.parse_hostspecs "a:1,bad" with
+  | Ok _ -> Alcotest.fail "parse_hostspecs accepted a bad item"
+  | Error _ -> ()
+
 let suite =
   [
     ( "util.rng",
@@ -621,6 +692,7 @@ let suite =
     ( "util.stats",
       [
         Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "mean_opt" `Quick test_stats_mean_opt;
         Alcotest.test_case "geomean" `Quick test_stats_geomean;
         Alcotest.test_case "geomean rejects non-positive" `Quick test_geomean_rejects;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
@@ -674,5 +746,11 @@ let suite =
         Alcotest.test_case "handle = named observe" `Quick test_metrics_handle_equiv;
         Alcotest.test_case "snapshot JSON pinned" `Quick test_metrics_snapshot_json_pinned;
         QCheck_alcotest.to_alcotest metrics_bucket_of_prop;
+      ] );
+    ( "util.transport",
+      [
+        Alcotest.test_case "hostspec KATs" `Quick test_transport_hostspec_ok;
+        Alcotest.test_case "hostspec rejects" `Quick test_transport_hostspec_errors;
+        Alcotest.test_case "hostspec lists" `Quick test_transport_hostspecs_list;
       ] );
   ]
